@@ -1,0 +1,65 @@
+//! Ablation (§6): the cost of software polling, the substitution this
+//! reproduction makes for rollforward compilation.
+//!
+//! The paper argues (§6) that software polling works if the polls are
+//! sparse enough to be cheap but dense enough to meet the heartbeat —
+//! advanced Java runtimes get it to ~2%. This bench sweeps the polling
+//! stride of the native runtime's latent loops on a fine-grained
+//! reduction and reports (a) the single-worker overhead versus serial
+//! and (b) whether the heartbeat still lands (promotions happen) at
+//! coarse strides.
+
+use std::time::Duration;
+
+use tpal_bench::{banner, ms, scale, time_native};
+use tpal_rt::{HeartbeatSource, RtConfig, Runtime};
+use tpal_workloads::{workload, Scale};
+
+fn main() {
+    banner(
+        "ablation: polling stride",
+        "software-polling cost vs heartbeat granularity (§6)",
+    );
+    let w = workload("plus-reduce-array").expect("workload");
+    let p = w.prepare(scale());
+    let expected = p.expected();
+    let t_serial = time_native(expected, || p.run_serial());
+    println!(
+        "\nserial baseline: {:.2} ms ({:?} input)\n",
+        ms(t_serial),
+        match scale() {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>12}",
+        "stride", "time ms", "overhead", "tasks"
+    );
+    for stride in [1usize, 4, 16, 32, 128, 1024] {
+        let rt = Runtime::new(
+            RtConfig::default()
+                .workers(1)
+                .source(HeartbeatSource::PingThread)
+                .heartbeat(Duration::from_micros(100))
+                .poll_stride(stride),
+        );
+        let t = time_native(expected, || rt.run(|ctx| p.run_heartbeat(ctx)));
+        println!(
+            "{:>8} {:>12.2} {:>9.2}x {:>12}",
+            stride,
+            ms(t),
+            t.as_secs_f64() / t_serial.as_secs_f64(),
+            rt.stats().tasks_created / tpal_bench::trials() as u64
+        );
+    }
+    println!(
+        "\nshape: per-iteration polling (stride 1) inhibits loop optimisation\n\
+         and costs the most; modest strides recover most of it while\n\
+         promotions still land every beat. plus-reduce is the adversarial\n\
+         case — a maximally vectorisable kernel — so a residual gap versus\n\
+         pure serial remains: that residue is the price of substituting\n\
+         software polling for the paper's rollforward compilation (§6). On\n\
+         kernels with real bodies the same machinery costs ~0-10% (fig08)."
+    );
+}

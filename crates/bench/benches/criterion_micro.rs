@@ -1,0 +1,107 @@
+//! Criterion microbenchmarks of the substrates: deque operations, the
+//! abstract machine's step rate, assembler throughput, and the
+//! per-construct costs of the two native runtimes (the unit costs behind
+//! τ and ♥ tuning).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use tpal_cilk::{cilk_spawn2, CilkRuntime};
+use tpal_core::asm::parse_program;
+use tpal_core::machine::{Machine, MachineConfig};
+use tpal_core::programs::prod;
+use tpal_deque::{deque, Steal};
+use tpal_rt::{HeartbeatSource, RtConfig, Runtime};
+
+fn bench_deque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let (w, _s) = deque::<u64>();
+        b.iter(|| {
+            w.push(1);
+            w.pop()
+        });
+    });
+    g.bench_function("push_steal", |b| {
+        let (w, s) = deque::<u64>();
+        b.iter(|| {
+            w.push(1);
+            match s.steal() {
+                Steal::Success(v) => v,
+                _ => unreachable!("single-threaded steal"),
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let program = prod();
+    let mut g = c.benchmark_group("machine");
+    // prod(a=1000) executes ~4k instructions serially.
+    g.throughput(Throughput::Elements(4_000));
+    g.bench_function("steps_serial_prod_1000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program, MachineConfig::serial());
+            m.set_reg("a", 1_000).unwrap();
+            m.set_reg("b", 3).unwrap();
+            m.run().unwrap().read_reg("c")
+        });
+    });
+    g.bench_function("steps_heartbeat_prod_1000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program, MachineConfig::default().with_heartbeat(100));
+            m.set_reg("a", 1_000).unwrap();
+            m.set_reg("b", 3).unwrap();
+            m.run().unwrap().read_reg("c")
+        });
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let text = tpal_core::asm::print_program(&prod());
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_prod", |b| {
+        b.iter(|| parse_program(&text).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_runtime_constructs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_constructs");
+
+    // The cost of a latent (unpromoted) join2: the serial-by-default
+    // price of a fork point.
+    let rt = Runtime::new(
+        RtConfig::default()
+            .workers(1)
+            .source(HeartbeatSource::Disabled),
+    );
+    g.bench_function("join2_latent", |b| {
+        b.iter_batched(
+            || (),
+            |()| rt.run(|ctx| ctx.join2(|_| 1u64, |_| 2u64)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // The cost of an eager spawn (Cilk's per-fork price).
+    let cilk = CilkRuntime::new(1);
+    g.bench_function("spawn2_eager", |b| {
+        b.iter_batched(
+            || (),
+            |()| cilk.run(|ctx| cilk_spawn2(ctx, |_| 1u64, |_| 2u64)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_deque, bench_machine, bench_assembler, bench_runtime_constructs
+}
+criterion_main!(benches);

@@ -1,0 +1,438 @@
+//! The TPAL assembly lexer.
+
+use std::fmt;
+
+use crate::isa::BinOp;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (register, label, or keyword). Interior hyphens are
+    /// part of the identifier when immediately followed by an identifier
+    /// character: `if-jump`, `sp-top`.
+    Ident(String),
+    /// An unsigned integer literal (negation is handled by the parser).
+    Int(i64),
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.` (the empty annotation)
+    Dot,
+    /// `:=`
+    Assign,
+    /// `->` (register-map arrow)
+    Arrow,
+    /// A binary operator symbol.
+    Op(BinOp),
+    /// End of line (statement separator).
+    Newline,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "`{n}`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Assign => f.write_str("`:=`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Op(op) => write!(f, "`{op}`"),
+            TokenKind::Newline => f.write_str("end of line"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character `{}`", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// `%` opens an identifier (compiler-generated scratch names such as
+/// `%abort`) only when immediately followed by an identifier character;
+/// otherwise it is the `%` operator.
+fn starts_scoped_ident(c: char, chars: &std::iter::Peekable<std::str::Chars<'_>>) -> bool {
+    if c != '%' {
+        return false;
+    }
+    let mut look = chars.clone();
+    look.next();
+    matches!(look.peek(), Some(&n) if is_ident_start(n))
+}
+
+/// Tokenises TPAL assembly source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on any character that starts no token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                push!(TokenKind::Newline);
+                line += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    // Comment to end of line.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            push!(TokenKind::Newline);
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(TokenKind::Op(BinOp::Div));
+                }
+            }
+            c if is_ident_start(c) || starts_scoped_ident(c, &chars) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_continue(c) || c == '%' && !s.is_empty() {
+                        s.push(c);
+                        chars.next();
+                    } else if c == '-' || c == '.' || c == '%' {
+                        // Interior hyphen/dot/percent: part of the
+                        // identifier only when the next character keeps
+                        // the identifier going (`sp-top`, `main.acc`,
+                        // `main.%t0`). With surrounding spaces they lex
+                        // as operators/punctuation instead.
+                        let mut look = chars.clone();
+                        look.next();
+                        match look.peek() {
+                            Some(&n) if is_ident_continue(n) || n == '%' => {
+                                s.push(c);
+                                chars.next();
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Ident(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n.wrapping_mul(10).wrapping_add(d as i64);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Int(n));
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Assign);
+                } else {
+                    push!(TokenKind::Colon);
+                }
+            }
+            ';' => {
+                chars.next();
+                push!(TokenKind::Semi);
+            }
+            ',' => {
+                chars.next();
+                push!(TokenKind::Comma);
+            }
+            '[' => {
+                chars.next();
+                push!(TokenKind::LBracket);
+            }
+            ']' => {
+                chars.next();
+                push!(TokenKind::RBracket);
+            }
+            '{' => {
+                chars.next();
+                push!(TokenKind::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(TokenKind::RBrace);
+            }
+            '.' | '\u{00B7}' => {
+                // Accept both ASCII '.' and the paper's '·'.
+                chars.next();
+                push!(TokenKind::Dot);
+            }
+            '+' => {
+                chars.next();
+                push!(TokenKind::Op(BinOp::Add));
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    push!(TokenKind::Arrow);
+                } else {
+                    push!(TokenKind::Op(BinOp::Sub));
+                }
+            }
+            '*' => {
+                chars.next();
+                push!(TokenKind::Op(BinOp::Mul));
+            }
+            '%' => {
+                chars.next();
+                push!(TokenKind::Op(BinOp::Mod));
+            }
+            '&' => {
+                chars.next();
+                push!(TokenKind::Op(BinOp::And));
+            }
+            '|' => {
+                chars.next();
+                push!(TokenKind::Op(BinOp::Or));
+            }
+            '^' => {
+                chars.next();
+                push!(TokenKind::Op(BinOp::Xor));
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        push!(TokenKind::Op(BinOp::Le));
+                    }
+                    Some('<') => {
+                        chars.next();
+                        push!(TokenKind::Op(BinOp::Shl));
+                    }
+                    _ => push!(TokenKind::Op(BinOp::Lt)),
+                }
+            }
+            '>' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        push!(TokenKind::Op(BinOp::Ge));
+                    }
+                    Some('>') => {
+                        chars.next();
+                        push!(TokenKind::Op(BinOp::Shr));
+                    }
+                    _ => push!(TokenKind::Op(BinOp::Gt)),
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Op(BinOp::EqOp));
+                } else {
+                    return Err(LexError { line, ch: '=' });
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(TokenKind::Op(BinOp::Ne));
+                } else {
+                    return Err(LexError { line, ch: '!' });
+                }
+            }
+            other => return Err(LexError { line, ch: other }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(
+            kinds("if-jump sp-top assoc-comm"),
+            vec![
+                TokenKind::Ident("if-jump".into()),
+                TokenKind::Ident("sp-top".into()),
+                TokenKind::Ident("assoc-comm".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spaced_minus_is_subtraction() {
+        assert_eq!(
+            kinds("a - 1"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Op(BinOp::Sub),
+                TokenKind::Int(1),
+            ]
+        );
+        // Hyphen before a digit with no space still splits: `a-1` is not a
+        // legal identifier continuation? It is (digits continue idents), so
+        // `a-1` lexes as one identifier — which is why the sources in this
+        // repository use underscores in names.
+        assert_eq!(kinds("a-1"), vec![TokenKind::Ident("a-1".into())]);
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        assert_eq!(
+            kinds("x := 1"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1)
+            ]
+        );
+        assert_eq!(
+            kinds("lbl:"),
+            vec![TokenKind::Ident("lbl".into()), TokenKind::Colon]
+        );
+    }
+
+    #[test]
+    fn arrow_and_comparison_operators() {
+        assert_eq!(
+            kinds("r -> r2"),
+            vec![
+                TokenKind::Ident("r".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("r2".into())
+            ]
+        );
+        assert_eq!(kinds("<="), vec![TokenKind::Op(BinOp::Le)]);
+        assert_eq!(kinds("<<"), vec![TokenKind::Op(BinOp::Shl)]);
+        assert_eq!(kinds("=="), vec![TokenKind::Op(BinOp::EqOp)]);
+        assert_eq!(kinds("!="), vec![TokenKind::Op(BinOp::Ne)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x // comment text := 5\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Newline,
+                TokenKind::Ident("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[4].line, 3);
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let err = lex("ok\n  $bad").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.ch, '$');
+    }
+
+    #[test]
+    fn unicode_middle_dot_is_dot() {
+        assert_eq!(kinds("[\u{00B7}]"), kinds("[.]"));
+    }
+
+    #[test]
+    fn scoped_and_generated_names() {
+        assert_eq!(
+            kinds("main.acc %abort main.%t0 fib.%s2_jr"),
+            vec![
+                TokenKind::Ident("main.acc".into()),
+                TokenKind::Ident("%abort".into()),
+                TokenKind::Ident("main.%t0".into()),
+                TokenKind::Ident("fib.%s2_jr".into()),
+            ]
+        );
+        // Spaced `%` stays the operator; `[.]` stays the annotation.
+        assert_eq!(
+            kinds("a % 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Op(BinOp::Mod),
+                TokenKind::Int(2)
+            ]
+        );
+        assert_eq!(
+            kinds("[.]"),
+            vec![TokenKind::LBracket, TokenKind::Dot, TokenKind::RBracket]
+        );
+    }
+}

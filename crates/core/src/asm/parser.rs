@@ -1,0 +1,835 @@
+//! The TPAL assembly parser.
+//!
+//! Parsing proceeds in two passes: the grammar pass builds blocks whose
+//! operands are unresolved names, then the resolution pass classifies each
+//! name as a block label (if a block of that name exists) or a register,
+//! and hands everything to the validating [`ProgramBuilder`].
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::asm::lexer::{lex, LexError, Token, TokenKind};
+use crate::isa::{Annotation, BinOp, Instr, JoinPolicy, MemAddr, Operand, RegMap};
+use crate::program::{Program, ProgramBuilder, ValidationError};
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 for end-of-input and program-level errors).
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            msg: format!("unexpected character `{}`", e.ch),
+        }
+    }
+}
+
+impl From<ValidationError> for ParseError {
+    fn from(e: ValidationError) -> Self {
+        ParseError {
+            line: 0,
+            msg: e.to_string(),
+        }
+    }
+}
+
+/// An operand whose name is not yet classified as register or label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum POperand {
+    Name(String),
+    Int(i64),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PMem {
+    base: String,
+    offset: u32,
+}
+
+/// Unresolved instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PInstr {
+    Move(String, POperand),
+    Op(String, BinOp, String, POperand),
+    IfJump(String, POperand),
+    JrAlloc(String, POperand),
+    Fork(String, POperand),
+    Jump(POperand),
+    Halt,
+    Join(String),
+    SNew(String),
+    SAlloc(String, u32),
+    SFree(String, u32),
+    Load(String, PMem),
+    Store(PMem, POperand),
+    PrmPush(PMem),
+    PrmPop(PMem),
+    PrmEmpty(String, String),
+    PrmSplit(String, String),
+    HAlloc(String, POperand),
+    HLoad(String, String, POperand),
+    HStore(String, POperand, POperand),
+}
+
+#[derive(Debug, Clone)]
+enum PAnnotation {
+    None,
+    Prppt(String),
+    Jtppt(JoinPolicy, Vec<(String, String)>, String),
+}
+
+#[derive(Debug)]
+struct PBlock {
+    name: String,
+    line: u32,
+    annotation: PAnnotation,
+    instrs: Vec<PInstr>,
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref k) if k == kind => Ok(()),
+            Some(k) => Err(ParseError {
+                line: self.toks[self.pos - 1].line,
+                msg: format!("expected {kind}, found {k}"),
+            }),
+            None => Err(self.err(format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            Some(k) => Err(ParseError {
+                line: self.toks[self.pos - 1].line,
+                msg: format!("expected identifier, found {k}"),
+            }),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(TokenKind::Int(n)) => Ok(n),
+            Some(TokenKind::Op(BinOp::Sub)) => match self.next() {
+                Some(TokenKind::Int(n)) => Ok(-n),
+                _ => Err(self.err("expected integer after `-`")),
+            },
+            Some(k) => Err(ParseError {
+                line: self.toks[self.pos - 1].line,
+                msg: format!("expected integer, found {k}"),
+            }),
+            None => Err(self.err("expected integer, found end of input")),
+        }
+    }
+
+    fn skip_separators(&mut self) {
+        while matches!(
+            self.peek(),
+            Some(TokenKind::Newline) | Some(TokenKind::Semi)
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn operand(&mut self) -> Result<POperand, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Ident(_)) => Ok(POperand::Name(self.ident()?)),
+            Some(TokenKind::Int(_)) | Some(TokenKind::Op(BinOp::Sub)) => {
+                Ok(POperand::Int(self.integer()?))
+            }
+            Some(k) => Err(self.err(format!("expected operand, found {k}"))),
+            None => Err(self.err("expected operand, found end of input")),
+        }
+    }
+
+    /// `heap [ base + offset ]` with a register-or-literal offset (the
+    /// `heap` keyword is already consumed).
+    fn heap_addr(&mut self) -> Result<(String, POperand), ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let base = self.ident()?;
+        self.expect(&TokenKind::Op(BinOp::Add))?;
+        let offset = self.operand()?;
+        self.expect(&TokenKind::RBracket)?;
+        Ok((base, offset))
+    }
+
+    /// `mem [ base + offset ]` (the `mem` keyword is already consumed).
+    fn mem_addr(&mut self) -> Result<PMem, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let base = self.ident()?;
+        self.expect(&TokenKind::Op(BinOp::Add))?;
+        let offset = self.integer()?;
+        if offset < 0 {
+            return Err(self.err("memory offsets must be non-negative"));
+        }
+        self.expect(&TokenKind::RBracket)?;
+        Ok(PMem {
+            base,
+            offset: offset as u32,
+        })
+    }
+
+    /// An operator token, or the `min`/`max` keywords.
+    fn peek_binop(&self) -> Option<BinOp> {
+        match self.peek() {
+            Some(TokenKind::Op(op)) => Some(*op),
+            Some(TokenKind::Ident(s)) if s == "min" => Some(BinOp::Min),
+            Some(TokenKind::Ident(s)) if s == "max" => Some(BinOp::Max),
+            _ => None,
+        }
+    }
+
+    fn annotation(&mut self) -> Result<PAnnotation, ParseError> {
+        self.expect(&TokenKind::LBracket)?;
+        let ann = match self.peek() {
+            Some(TokenKind::Dot) => {
+                self.pos += 1;
+                PAnnotation::None
+            }
+            Some(TokenKind::Ident(s)) if s == "prppt" => {
+                self.pos += 1;
+                PAnnotation::Prppt(self.ident()?)
+            }
+            Some(TokenKind::Ident(s)) if s == "jtppt" => {
+                self.pos += 1;
+                let policy = match self.ident()?.as_str() {
+                    "assoc" => JoinPolicy::Assoc,
+                    "assoc-comm" | "assoc_comm" => JoinPolicy::AssocComm,
+                    other => {
+                        return Err(
+                            self.err(format!("expected `assoc` or `assoc-comm`, found `{other}`"))
+                        )
+                    }
+                };
+                self.expect(&TokenKind::Semi)?;
+                self.expect(&TokenKind::LBrace)?;
+                let mut pairs = Vec::new();
+                if self.peek() != Some(&TokenKind::RBrace) {
+                    loop {
+                        let src = self.ident()?;
+                        self.expect(&TokenKind::Arrow)?;
+                        let dst = self.ident()?;
+                        pairs.push((src, dst));
+                        if self.peek() == Some(&TokenKind::Comma) {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBrace)?;
+                self.expect(&TokenKind::Semi)?;
+                PAnnotation::Jtppt(policy, pairs, self.ident()?)
+            }
+            _ => return Err(self.err("expected `.`, `prppt`, or `jtppt` in annotation")),
+        };
+        self.expect(&TokenKind::RBracket)?;
+        Ok(ann)
+    }
+
+    /// One statement; the caller has already established it is not a block
+    /// header.
+    fn statement(&mut self) -> Result<Vec<PInstr>, ParseError> {
+        let kw = match self.peek() {
+            Some(TokenKind::Ident(s)) => s.clone(),
+            _ => return Err(self.err("expected a statement")),
+        };
+        match kw.as_str() {
+            "jump" => {
+                self.pos += 1;
+                Ok(vec![PInstr::Jump(self.operand()?)])
+            }
+            "halt" => {
+                self.pos += 1;
+                Ok(vec![PInstr::Halt])
+            }
+            "join" => {
+                self.pos += 1;
+                Ok(vec![PInstr::Join(self.ident()?)])
+            }
+            "fork" => {
+                self.pos += 1;
+                let jr = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                Ok(vec![PInstr::Fork(jr, self.operand()?)])
+            }
+            "if-jump" | "if_jump" => {
+                self.pos += 1;
+                let cond = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                Ok(vec![PInstr::IfJump(cond, self.operand()?)])
+            }
+            "salloc" | "sfree" => {
+                self.pos += 1;
+                let sp = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let n = self.integer()?;
+                if n < 0 {
+                    return Err(self.err("cell counts must be non-negative"));
+                }
+                Ok(vec![if kw == "salloc" {
+                    PInstr::SAlloc(sp, n as u32)
+                } else {
+                    PInstr::SFree(sp, n as u32)
+                }])
+            }
+            "prmpush" | "prmpop" => {
+                self.pos += 1;
+                let m = self.ident()?; // `mem`
+                if m != "mem" {
+                    return Err(self.err(format!("expected `mem`, found `{m}`")));
+                }
+                let addr = self.mem_addr()?;
+                Ok(vec![if kw == "prmpush" {
+                    PInstr::PrmPush(addr)
+                } else {
+                    PInstr::PrmPop(addr)
+                }])
+            }
+            "prmsplit" => {
+                self.pos += 1;
+                let sp = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                Ok(vec![PInstr::PrmSplit(sp, self.ident()?)])
+            }
+            "mem" => {
+                // Store: mem[sp + n] := v
+                self.pos += 1;
+                let addr = self.mem_addr()?;
+                self.expect(&TokenKind::Assign)?;
+                Ok(vec![PInstr::Store(addr, self.operand()?)])
+            }
+            "heap" => {
+                // Heap store: heap[base + off] := v
+                self.pos += 1;
+                let (base, off) = self.heap_addr()?;
+                self.expect(&TokenKind::Assign)?;
+                Ok(vec![PInstr::HStore(base, off, self.operand()?)])
+            }
+            _ => {
+                // Assignment forms: dst := ...
+                let dst = self.ident()?;
+                self.expect(&TokenKind::Assign)?;
+                match self.peek() {
+                    Some(TokenKind::Ident(s)) if s == "snew" => {
+                        self.pos += 1;
+                        Ok(vec![PInstr::SNew(dst)])
+                    }
+                    Some(TokenKind::Ident(s)) if s == "jralloc" => {
+                        self.pos += 1;
+                        Ok(vec![PInstr::JrAlloc(dst, self.operand()?)])
+                    }
+                    Some(TokenKind::Ident(s)) if s == "prmempty" => {
+                        self.pos += 1;
+                        Ok(vec![PInstr::PrmEmpty(dst, self.ident()?)])
+                    }
+                    Some(TokenKind::Ident(s)) if s == "mem" => {
+                        self.pos += 1;
+                        Ok(vec![PInstr::Load(dst, self.mem_addr()?)])
+                    }
+                    Some(TokenKind::Ident(s)) if s == "halloc" => {
+                        self.pos += 1;
+                        Ok(vec![PInstr::HAlloc(dst, self.operand()?)])
+                    }
+                    Some(TokenKind::Ident(s)) if s == "heap" => {
+                        self.pos += 1;
+                        let (base, off) = self.heap_addr()?;
+                        Ok(vec![PInstr::HLoad(dst, base, off)])
+                    }
+                    _ => self.assignment_chain(dst),
+                }
+            }
+        }
+    }
+
+    /// `dst := operand (op operand)*`, expanded left-associatively with
+    /// `dst` as the accumulator.
+    fn assignment_chain(&mut self, dst: String) -> Result<Vec<PInstr>, ParseError> {
+        let first = self.operand()?;
+        if self.peek_binop().is_none() {
+            return Ok(vec![PInstr::Move(dst, first)]);
+        }
+        let lhs = match &first {
+            POperand::Name(s) => s.clone(),
+            POperand::Int(_) => {
+                return Err(self.err("the left operand of an operator must be a register"))
+            }
+        };
+        let mut instrs = Vec::new();
+        let mut acc_is_dst = false;
+        while let Some(op) = self.peek_binop() {
+            self.pos += 1;
+            let rhs = self.operand()?;
+            if acc_is_dst {
+                if matches!(&rhs, POperand::Name(n) if *n == dst) {
+                    return Err(self.err(format!(
+                        "chained expression reads `{dst}` after it was already assigned; \
+                         split the statement"
+                    )));
+                }
+                instrs.push(PInstr::Op(dst.clone(), op, dst.clone(), rhs));
+            } else {
+                instrs.push(PInstr::Op(dst.clone(), op, lhs.clone(), rhs));
+                acc_is_dst = true;
+            }
+        }
+        Ok(instrs)
+    }
+
+    fn program(&mut self) -> Result<Vec<PBlock>, ParseError> {
+        let mut blocks = Vec::new();
+        self.skip_separators();
+        while self.peek().is_some() {
+            // Block header: IDENT ':' [annotation]
+            let line = self.line();
+            let name = self.ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let annotation = if self.peek() == Some(&TokenKind::LBracket) {
+                self.annotation()?
+            } else {
+                PAnnotation::None
+            };
+            let mut instrs = Vec::new();
+            self.skip_separators();
+            // Statements until the next block header or end of input.
+            while let Some(TokenKind::Ident(_)) = self.peek() {
+                if self.peek2() == Some(&TokenKind::Colon) {
+                    break; // next block header
+                }
+                instrs.extend(self.statement()?);
+                match self.peek() {
+                    None => break,
+                    Some(TokenKind::Newline) | Some(TokenKind::Semi) => self.skip_separators(),
+                    Some(k) => {
+                        return Err(self.err(format!("expected end of statement, found {k}")))
+                    }
+                }
+            }
+            blocks.push(PBlock {
+                name,
+                line,
+                annotation,
+                instrs,
+            });
+            self.skip_separators();
+        }
+        Ok(blocks)
+    }
+}
+
+/// Parses TPAL assembly source into a validated [`Program`].
+///
+/// The first block in the source is the program's entry block.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntactic faults, and wraps any
+/// [`ValidationError`] from the program builder (undefined labels, missing
+/// terminators, and so on).
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let pblocks = parser.program()?;
+    if pblocks.is_empty() {
+        return Err(ParseError {
+            line: 0,
+            msg: "program has no blocks".into(),
+        });
+    }
+
+    let block_names: HashSet<&str> = pblocks.iter().map(|b| b.name.as_str()).collect();
+    let mut b = ProgramBuilder::new();
+
+    // Intern block labels first so name resolution sees all of them.
+    for pb in &pblocks {
+        b.label(&pb.name);
+    }
+
+    let resolve = |b: &mut ProgramBuilder, op: &POperand| -> Operand {
+        match op {
+            POperand::Int(n) => Operand::Int(*n),
+            POperand::Name(s) => {
+                if block_names.contains(s.as_str()) {
+                    Operand::Label(b.label(s))
+                } else {
+                    Operand::Reg(b.reg(s))
+                }
+            }
+        }
+    };
+    let reg_of =
+        |b: &mut ProgramBuilder, s: &str, line: u32| -> Result<crate::isa::Reg, ParseError> {
+            if block_names.contains(s) {
+                return Err(ParseError {
+                    line,
+                    msg: format!("`{s}` is a block label but is used as a register"),
+                });
+            }
+            Ok(b.reg(s))
+        };
+    let mem_of = |b: &mut ProgramBuilder, m: &PMem, line: u32| -> Result<MemAddr, ParseError> {
+        Ok(MemAddr {
+            base: reg_of(b, &m.base, line)?,
+            offset: m.offset,
+        })
+    };
+
+    for pb in &pblocks {
+        let line = pb.line;
+        let mut instrs = Vec::with_capacity(pb.instrs.len());
+        for pi in &pb.instrs {
+            let i = match pi {
+                PInstr::Move(dst, src) => Instr::Move {
+                    dst: reg_of(&mut b, dst, line)?,
+                    src: resolve(&mut b, src),
+                },
+                PInstr::Op(dst, op, lhs, rhs) => Instr::Op {
+                    dst: reg_of(&mut b, dst, line)?,
+                    op: *op,
+                    lhs: reg_of(&mut b, lhs, line)?,
+                    rhs: resolve(&mut b, rhs),
+                },
+                PInstr::IfJump(cond, target) => Instr::IfJump {
+                    cond: reg_of(&mut b, cond, line)?,
+                    target: resolve(&mut b, target),
+                },
+                PInstr::JrAlloc(dst, cont) => Instr::JrAlloc {
+                    dst: reg_of(&mut b, dst, line)?,
+                    cont: resolve(&mut b, cont),
+                },
+                PInstr::Fork(jr, target) => Instr::Fork {
+                    jr: reg_of(&mut b, jr, line)?,
+                    target: resolve(&mut b, target),
+                },
+                PInstr::Jump(t) => Instr::Jump {
+                    target: resolve(&mut b, t),
+                },
+                PInstr::Halt => Instr::Halt,
+                PInstr::Join(jr) => Instr::Join {
+                    jr: reg_of(&mut b, jr, line)?,
+                },
+                PInstr::SNew(dst) => Instr::SNew {
+                    dst: reg_of(&mut b, dst, line)?,
+                },
+                PInstr::SAlloc(sp, n) => Instr::SAlloc {
+                    sp: reg_of(&mut b, sp, line)?,
+                    n: *n,
+                },
+                PInstr::SFree(sp, n) => Instr::SFree {
+                    sp: reg_of(&mut b, sp, line)?,
+                    n: *n,
+                },
+                PInstr::Load(dst, m) => Instr::Load {
+                    dst: reg_of(&mut b, dst, line)?,
+                    addr: mem_of(&mut b, m, line)?,
+                },
+                PInstr::Store(m, src) => Instr::Store {
+                    addr: mem_of(&mut b, m, line)?,
+                    src: resolve(&mut b, src),
+                },
+                PInstr::PrmPush(m) => Instr::PrmPush {
+                    addr: mem_of(&mut b, m, line)?,
+                },
+                PInstr::PrmPop(m) => Instr::PrmPop {
+                    addr: mem_of(&mut b, m, line)?,
+                },
+                PInstr::PrmEmpty(dst, sp) => Instr::PrmEmpty {
+                    dst: reg_of(&mut b, dst, line)?,
+                    sp: reg_of(&mut b, sp, line)?,
+                },
+                PInstr::PrmSplit(sp, dst) => Instr::PrmSplit {
+                    sp: reg_of(&mut b, sp, line)?,
+                    dst: reg_of(&mut b, dst, line)?,
+                },
+                PInstr::HAlloc(dst, size) => Instr::HAlloc {
+                    dst: reg_of(&mut b, dst, line)?,
+                    size: resolve(&mut b, size),
+                },
+                PInstr::HLoad(dst, base, off) => Instr::HLoad {
+                    dst: reg_of(&mut b, dst, line)?,
+                    base: reg_of(&mut b, base, line)?,
+                    offset: resolve(&mut b, off),
+                },
+                PInstr::HStore(base, off, src) => Instr::HStore {
+                    base: reg_of(&mut b, base, line)?,
+                    offset: resolve(&mut b, off),
+                    src: resolve(&mut b, src),
+                },
+            };
+            instrs.push(i);
+        }
+        let annotation = match &pb.annotation {
+            PAnnotation::None => Annotation::None,
+            PAnnotation::Prppt(h) => {
+                if !block_names.contains(h.as_str()) {
+                    return Err(ParseError {
+                        line,
+                        msg: format!("prppt handler `{h}` is not a block"),
+                    });
+                }
+                Annotation::PromotionReady {
+                    handler: b.label(h),
+                }
+            }
+            PAnnotation::Jtppt(policy, pairs, comb) => {
+                if !block_names.contains(comb.as_str()) {
+                    return Err(ParseError {
+                        line,
+                        msg: format!("jtppt combining block `{comb}` is not a block"),
+                    });
+                }
+                let mut merge = RegMap::new();
+                for (src, dst) in pairs {
+                    merge = merge.with(reg_of(&mut b, src, line)?, reg_of(&mut b, dst, line)?);
+                }
+                Annotation::JoinTarget {
+                    policy: *policy,
+                    merge,
+                    comb: b.label(comb),
+                }
+            }
+        };
+        b.annotated_block(&pb.name, annotation, instrs);
+    }
+
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineConfig};
+
+    #[test]
+    fn parse_minimal() {
+        let p = parse_program("main: [.]\n  r := 1\n  halt\n").unwrap();
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.instr_count(), 2);
+    }
+
+    #[test]
+    fn parse_semicolon_separated() {
+        let p = parse_program("main: [.] r := 1; r := r + 2; halt").unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("r"), Some(3));
+    }
+
+    #[test]
+    fn parse_chained_operators() {
+        let p = parse_program("main: x := 2; y := x + x + 3; halt").unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("y"), Some(7));
+    }
+
+    #[test]
+    fn chained_clobber_rejected() {
+        let err = parse_program("main: x := 1; x := x + 1 + x; halt").unwrap_err();
+        assert!(err.msg.contains("already assigned"), "{err}");
+    }
+
+    #[test]
+    fn parse_negative_literal() {
+        let p = parse_program("main: x := -5; x := x - -3; halt").unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("x"), Some(-2));
+    }
+
+    #[test]
+    fn labels_resolve_in_operands() {
+        let src = "main: [.]\n  jump next\nnext: [.]\n  halt\n";
+        let p = parse_program(src).unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert!(out.final_regs().is_some());
+    }
+
+    #[test]
+    fn label_used_as_register_rejected() {
+        let err = parse_program("main: main := 1; halt").unwrap_err();
+        assert!(err.msg.contains("used as a register"), "{err}");
+    }
+
+    #[test]
+    fn parse_full_prod_listing() {
+        // The paper's Figure 2, transcribed with underscores.
+        let src = r#"
+prod: [.] // computes c = a * b
+    r := 0
+    jump loop
+exit: [jtppt assoc-comm; {r -> r2}; comb]
+    c := r
+    halt
+loop: [prppt loop_try_promote]
+    if-jump a, exit
+    r := r + b
+    a := a - 1
+    jump loop
+loop_try_promote: [.]
+    t := a < 2
+    if-jump t, loop
+    jr := jralloc exit
+    jump loop_promote
+loop_par_try_promote: [.]
+    t := a < 2
+    if-jump t, loop_par
+    jump loop_promote
+loop_promote: [.]
+    m := a / 2
+    n := a % 2
+    a := m
+    tr := r
+    r := 0
+    fork jr, loop_par
+    a := m + n
+    r := tr
+    jump loop_par
+loop_par: [prppt loop_par_try_promote]
+    if-jump a, exit_par
+    r := r + b
+    a := a - 1
+    jump loop_par
+comb: [.]
+    r := r + r2
+    join jr
+exit_par: [.]
+    join jr
+"#;
+        let p = parse_program(src).unwrap();
+        for hb in [8, u64::MAX] {
+            let mut m = Machine::new(&p, MachineConfig::default().with_heartbeat(hb));
+            m.set_reg("a", 123).unwrap();
+            m.set_reg("b", 4).unwrap();
+            assert_eq!(m.run().unwrap().read_reg("c"), Some(492), "hb={hb}");
+        }
+    }
+
+    #[test]
+    fn parse_stack_instructions() {
+        let src = r#"
+main: [.]
+    sp := snew
+    salloc sp, 2
+    mem[sp + 0] := 7
+    mem[sp + 1] := 8
+    x := mem[sp + 0]
+    y := mem[sp + 1]
+    sfree sp, 2
+    halt
+"#;
+        let p = parse_program(src).unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("x"), Some(7));
+        assert_eq!(out.read_reg("y"), Some(8));
+    }
+
+    #[test]
+    fn parse_mark_instructions() {
+        let src = r#"
+main: [.]
+    sp := snew
+    salloc sp, 3
+    e := prmempty sp
+    prmpush mem[sp + 1]
+    f := prmempty sp
+    prmsplit sp, off
+    prmpush mem[sp + 2]
+    prmpop mem[sp + 2]
+    halt
+"#;
+        let p = parse_program(src).unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("e"), Some(0)); // empty = true(0)
+        assert_eq!(out.read_reg("f"), Some(1));
+        assert_eq!(out.read_reg("off"), Some(1));
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = parse_program("main: [.]\n  x := := 1\n  halt").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn undefined_handler_rejected() {
+        let err = parse_program("main: [prppt nowhere]\n  halt\n").unwrap_err();
+        assert!(err.msg.contains("prppt handler"), "{err}");
+    }
+
+    #[test]
+    fn parse_heap_instructions() {
+        let src = r#"
+main: [.]
+    a := halloc 4
+    heap[a + 0] := 11
+    i := 3
+    heap[a + i] := 44
+    x := heap[a + 0]
+    y := heap[a + i]
+    halt
+"#;
+        let p = parse_program(src).unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("x"), Some(11));
+        assert_eq!(out.read_reg("y"), Some(44));
+    }
+
+    #[test]
+    fn min_max_keywords() {
+        let p = parse_program("main: a := 3; b := a min 1; c := a max 9; halt").unwrap();
+        let out = Machine::new(&p, MachineConfig::default()).run().unwrap();
+        assert_eq!(out.read_reg("b"), Some(1));
+        assert_eq!(out.read_reg("c"), Some(9));
+    }
+}

@@ -1,0 +1,167 @@
+//! The cost semantics of TPAL (Figure 28).
+//!
+//! Execution induces a series-parallel directed acyclic *cost graph* `g`:
+//! the empty graph `0`, a unit vertex `1`, sequential composition
+//! `g₁ · g₂`, and parallel composition `g₁ ∥ g₂`. Work counts every vertex
+//! (plus τ per fork-join); span is the longest path (plus τ per
+//! fork-join on it).
+//!
+//! The executor ([`crate::machine::Machine`]) computes work and span
+//! *incrementally* — carrying per-task relative counters and snapshotting
+//! them at fork-tree nodes — rather than materialising graphs. This module
+//! provides the explicit graph algebra, used to specify that computation
+//! and to cross-check it in tests, plus Brent's-bound utilities used by
+//! the simulator's sanity checks.
+
+/// A series-parallel cost graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostGraph {
+    /// The empty graph `0`.
+    Empty,
+    /// A single unit-cost vertex `1`.
+    Unit,
+    /// A chain of `n` unit vertices (a compressed `1 · 1 · … · 1`,
+    /// letting executors record long sequential stretches in O(1)).
+    Steps(u64),
+    /// Sequential composition `g₁ · g₂`.
+    Seq(Box<CostGraph>, Box<CostGraph>),
+    /// Parallel composition `g₁ ∥ g₂` (weighted τ at evaluation).
+    Par(Box<CostGraph>, Box<CostGraph>),
+}
+
+impl CostGraph {
+    /// Sequential composition.
+    pub fn then(self, other: CostGraph) -> CostGraph {
+        CostGraph::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Parallel composition.
+    pub fn beside(self, other: CostGraph) -> CostGraph {
+        CostGraph::Par(Box::new(self), Box::new(other))
+    }
+
+    /// A chain of `n` unit vertices (boxed form; see also the compressed
+    /// [`CostGraph::Steps`]).
+    pub fn chain(n: u64) -> CostGraph {
+        let mut g = CostGraph::Empty;
+        for _ in 0..n {
+            g = g.then(CostGraph::Unit);
+        }
+        g
+    }
+
+    /// `Work(g)` with task-creation cost `tau` (Figure 28).
+    pub fn work(&self, tau: u64) -> u64 {
+        match self {
+            CostGraph::Empty => 0,
+            CostGraph::Unit => 1,
+            CostGraph::Steps(n) => *n,
+            CostGraph::Seq(a, b) => a.work(tau) + b.work(tau),
+            CostGraph::Par(a, b) => tau + a.work(tau) + b.work(tau),
+        }
+    }
+
+    /// `Span(g)` with task-creation cost `tau` (Figure 28).
+    pub fn span(&self, tau: u64) -> u64 {
+        match self {
+            CostGraph::Empty => 0,
+            CostGraph::Unit => 1,
+            CostGraph::Steps(n) => *n,
+            CostGraph::Seq(a, b) => a.span(tau) + b.span(tau),
+            CostGraph::Par(a, b) => tau + a.span(tau).max(b.span(tau)),
+        }
+    }
+}
+
+/// Brent's bound: a greedy `p`-processor schedule of a computation with
+/// the given work and span completes within `work/p + span` steps.
+///
+/// The simulator's measured completion times are validated against this
+/// (and against the trivial lower bounds `work/p` and `span`).
+pub fn brent_upper_bound(work: u64, span: u64, p: u64) -> u64 {
+    work / p.max(1) + span
+}
+
+/// The trivial lower bound on `p`-processor completion time:
+/// `max(⌈work/p⌉, span)`.
+pub fn lower_bound(work: u64, span: u64, p: u64) -> u64 {
+    let p = p.max(1);
+    (work.div_ceil(p)).max(span)
+}
+
+/// The heartbeat amortisation bound (Acar et al., PLDI 2018, Theorem 1,
+/// specialised): with promotions only every ♥ instructions of useful
+/// work, the number of promotions is at most `work / ♥`, so the total
+/// task-creation overhead `τ · promotions` is at most `(τ/♥) · work` — a
+/// constant fraction chosen by tuning ♥ ≥ τ/ε.
+pub fn max_promotions(work: u64, heartbeat: u64) -> u64 {
+    work / heartbeat.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_empty() {
+        assert_eq!(CostGraph::Empty.work(5), 0);
+        assert_eq!(CostGraph::Empty.span(5), 0);
+        assert_eq!(CostGraph::Unit.work(5), 1);
+        assert_eq!(CostGraph::Unit.span(5), 1);
+    }
+
+    #[test]
+    fn seq_adds_both() {
+        let g = CostGraph::chain(10);
+        assert_eq!(g.work(3), 10);
+        assert_eq!(g.span(3), 10);
+        // The compressed chain agrees with the boxed chain.
+        assert_eq!(CostGraph::Steps(10).work(3), g.work(3));
+        assert_eq!(CostGraph::Steps(10).span(3), g.span(3));
+    }
+
+    #[test]
+    fn par_adds_work_maxes_span() {
+        let g = CostGraph::chain(10).beside(CostGraph::chain(4));
+        assert_eq!(g.work(3), 3 + 14);
+        assert_eq!(g.span(3), 3 + 10);
+    }
+
+    #[test]
+    fn nested_composition() {
+        // (5 · (3 ∥ 7)) · 2 with τ = 1
+        let g = CostGraph::chain(5)
+            .then(CostGraph::chain(3).beside(CostGraph::chain(7)))
+            .then(CostGraph::chain(2));
+        assert_eq!(g.work(1), 5 + 1 + 10 + 2);
+        assert_eq!(g.span(1), 5 + 1 + 7 + 2);
+    }
+
+    #[test]
+    fn span_never_exceeds_work() {
+        let g = CostGraph::chain(4)
+            .beside(CostGraph::chain(9).beside(CostGraph::chain(2)))
+            .then(CostGraph::chain(1));
+        for tau in [0, 1, 10] {
+            assert!(g.span(tau) <= g.work(tau));
+        }
+    }
+
+    #[test]
+    fn brent_bounds_bracket() {
+        let (w, s) = (1000, 50);
+        for p in 1..=16 {
+            assert!(lower_bound(w, s, p) <= brent_upper_bound(w, s, p));
+        }
+        assert_eq!(brent_upper_bound(1000, 50, 1), 1050);
+        assert_eq!(lower_bound(1000, 50, 4), 250);
+        assert_eq!(lower_bound(1000, 500, 4), 500);
+    }
+
+    #[test]
+    fn promotion_amortisation() {
+        assert_eq!(max_promotions(10_000, 100), 100);
+        assert_eq!(max_promotions(99, 100), 0);
+        assert_eq!(max_promotions(100, 0), 100); // ♥ clamped to 1
+    }
+}

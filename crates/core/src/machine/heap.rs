@@ -1,0 +1,131 @@
+//! The shared heap (the extension the paper's Appendix B.2 notes is
+//! "also possible" but omits): a single word-addressed store of 64-bit
+//! integers, shared by all tasks. Addresses are plain integers; address 0
+//! is null. Allocation is a bump allocator; workloads are bounded, so
+//! nothing is freed.
+
+use crate::machine::value::MachineError;
+
+/// The shared heap of a machine.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    words: Vec<i64>,
+}
+
+impl Heap {
+    /// Creates an empty heap. Word address 0 is reserved as null.
+    pub fn new() -> Self {
+        Heap { words: vec![0] }
+    }
+
+    /// Allocates `size` zero-initialised words, returning the base
+    /// address.
+    pub fn alloc(&mut self, size: usize) -> i64 {
+        if self.words.is_empty() {
+            self.words.push(0);
+        }
+        let base = self.words.len() as i64;
+        self.words.resize(self.words.len() + size, 0);
+        base
+    }
+
+    /// Allocates and initialises an array, returning its base address.
+    pub fn alloc_init(&mut self, data: &[i64]) -> i64 {
+        let base = self.alloc(data.len());
+        self.words[base as usize..base as usize + data.len()].copy_from_slice(data);
+        base
+    }
+
+    fn check(&self, addr: i64) -> Result<usize, MachineError> {
+        if addr <= 0 || addr as usize >= self.words.len() {
+            return Err(MachineError::HeapOutOfRange { addr });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Loads the word at `base + offset`.
+    pub fn load(&self, base: i64, offset: i64) -> Result<i64, MachineError> {
+        let a = self.check(base.wrapping_add(offset))?;
+        Ok(self.words[a])
+    }
+
+    /// Stores a word at `base + offset`.
+    pub fn store(&mut self, base: i64, offset: i64, v: i64) -> Result<(), MachineError> {
+        let a = self.check(base.wrapping_add(offset))?;
+        self.words[a] = v;
+        Ok(())
+    }
+
+    /// A view of `len` words starting at `base` (for reading results back
+    /// out of a finished machine).
+    pub fn slice(&self, base: i64, len: usize) -> Result<&[i64], MachineError> {
+        let a = self.check(base)?;
+        if a + len > self.words.len() {
+            return Err(MachineError::HeapOutOfRange {
+                addr: (a + len) as i64 - 1,
+            });
+        }
+        Ok(&self.words[a..a + len])
+    }
+
+    /// Total words allocated (including the null word).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if nothing beyond the null word was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store() {
+        let mut h = Heap::new();
+        let a = h.alloc(4);
+        assert!(a > 0);
+        h.store(a, 2, 42).unwrap();
+        assert_eq!(h.load(a, 2).unwrap(), 42);
+        assert_eq!(h.load(a, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn null_and_out_of_range_rejected() {
+        let mut h = Heap::new();
+        let a = h.alloc(2);
+        assert!(matches!(
+            h.load(0, 0),
+            Err(MachineError::HeapOutOfRange { .. })
+        ));
+        assert!(matches!(
+            h.load(a, 2),
+            Err(MachineError::HeapOutOfRange { .. })
+        ));
+        assert!(matches!(
+            h.store(-1, 0, 1),
+            Err(MachineError::HeapOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn alloc_init_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.alloc_init(&[5, 6, 7]);
+        assert_eq!(h.slice(a, 3).unwrap(), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut h = Heap::new();
+        let a = h.alloc(3);
+        let b = h.alloc(3);
+        h.store(a, 2, 1).unwrap();
+        h.store(b, 0, 2).unwrap();
+        assert_eq!(h.load(a, 2).unwrap(), 1);
+        assert!(a + 3 <= b);
+    }
+}

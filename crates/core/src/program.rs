@@ -1,0 +1,510 @@
+//! TPAL programs: labelled blocks with interned names, plus validation.
+//!
+//! A [`Program`] is the static code memory `H` of the abstract machine
+//! restricted to blocks (the paper's heap also holds runtime tuples, which
+//! live in the machine). Programs are built through a [`ProgramBuilder`]
+//! and validated before execution; validation enforces the structural
+//! invariants the machine's transition rules assume.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{Annotation, Block, Instr, Label, Operand, Reg};
+
+/// A structural defect found by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A jump, annotation, or operand refers to a label with no block.
+    UndefinedLabel {
+        /// The offending label name.
+        label: String,
+        /// The block containing the reference.
+        in_block: String,
+    },
+    /// A block's instruction list is empty.
+    EmptyBlock {
+        /// The offending block.
+        block: String,
+    },
+    /// A block does not end in `jump`, `halt`, or `join`.
+    MissingTerminator {
+        /// The offending block.
+        block: String,
+    },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator {
+        /// The offending block.
+        block: String,
+        /// Index of the early terminator.
+        index: usize,
+    },
+    /// A `jralloc` continuation block lacks a `jtppt` annotation.
+    ContinuationNotJoinTarget {
+        /// The continuation label.
+        label: String,
+        /// The block containing the `jralloc`.
+        in_block: String,
+    },
+    /// A `prppt` handler label does not exist.
+    UndefinedHandler {
+        /// The handler label.
+        label: String,
+        /// The annotated block.
+        in_block: String,
+    },
+    /// The same block label was defined twice.
+    DuplicateLabel {
+        /// The duplicated name.
+        label: String,
+    },
+    /// The program defines no blocks.
+    NoBlocks,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UndefinedLabel { label, in_block } => {
+                write!(
+                    f,
+                    "undefined label `{label}` referenced in block `{in_block}`"
+                )
+            }
+            ValidationError::EmptyBlock { block } => write!(f, "block `{block}` is empty"),
+            ValidationError::MissingTerminator { block } => {
+                write!(f, "block `{block}` does not end in jump, halt, or join")
+            }
+            ValidationError::EarlyTerminator { block, index } => {
+                write!(
+                    f,
+                    "terminator before end of block `{block}` (instruction {index})"
+                )
+            }
+            ValidationError::ContinuationNotJoinTarget { label, in_block } => write!(
+                f,
+                "jralloc in block `{in_block}` targets `{label}`, which has no jtppt annotation"
+            ),
+            ValidationError::UndefinedHandler { label, in_block } => {
+                write!(
+                    f,
+                    "prppt handler `{label}` of block `{in_block}` is undefined"
+                )
+            }
+            ValidationError::DuplicateLabel { label } => {
+                write!(f, "label `{label}` defined more than once")
+            }
+            ValidationError::NoBlocks => write!(f, "program has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A validated TPAL program.
+///
+/// Blocks, labels, and registers are interned; [`Label::index`] and
+/// [`Reg::index`] are stable indices into this program's tables.
+#[derive(Debug, Clone)]
+pub struct Program {
+    blocks: Vec<Block>,
+    label_names: Vec<String>,
+    reg_names: Vec<String>,
+    label_by_name: HashMap<String, Label>,
+    reg_by_name: HashMap<String, Reg>,
+    entry: Label,
+}
+
+impl Program {
+    /// The program's entry block (the first block defined, unless
+    /// overridden with [`ProgramBuilder::entry`]).
+    pub fn entry(&self) -> Label {
+        self.entry
+    }
+
+    /// Looks up a block by label.
+    pub fn block(&self, label: Label) -> &Block {
+        &self.blocks[label.index()]
+    }
+
+    /// All blocks, indexed by [`Label::index`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The number of distinct registers named by the program.
+    pub fn reg_count(&self) -> usize {
+        self.reg_names.len()
+    }
+
+    /// The number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Resolves a label by name.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.label_by_name.get(name).copied()
+    }
+
+    /// Resolves a register by name.
+    pub fn reg(&self, name: &str) -> Option<Reg> {
+        self.reg_by_name.get(name).copied()
+    }
+
+    /// The name of a label.
+    pub fn label_name(&self, label: Label) -> &str {
+        &self.label_names[label.index()]
+    }
+
+    /// The name of a register.
+    pub fn reg_name(&self, reg: Reg) -> &str {
+        &self.reg_names[reg.index()]
+    }
+
+    /// Iterates over `(label, block)` pairs in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (Label(i as u32), b))
+    }
+
+    /// The total number of instructions in the program.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+/// Incrementally builds and validates a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use tpal_core::program::ProgramBuilder;
+/// use tpal_core::isa::{Instr, Operand};
+///
+/// let mut b = ProgramBuilder::new();
+/// let halt = b.label("done");
+/// let r = b.reg("r");
+/// b.block("done", vec![Instr::Move { dst: r, src: Operand::Int(1) }, Instr::Halt]);
+/// let program = b.build().expect("valid");
+/// assert_eq!(program.entry(), halt);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<Option<Block>>,
+    label_names: Vec<String>,
+    reg_names: Vec<String>,
+    label_by_name: HashMap<String, Label>,
+    reg_by_name: HashMap<String, Reg>,
+    entry: Option<Label>,
+    definition_order: Vec<Label>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Interns (or retrieves) a label by name. Labels may be referenced
+    /// before their blocks are defined.
+    pub fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.label_by_name.get(name) {
+            return l;
+        }
+        let l = Label(self.label_names.len() as u32);
+        self.label_names.push(name.to_owned());
+        self.label_by_name.insert(name.to_owned(), l);
+        self.blocks.push(None);
+        l
+    }
+
+    /// Interns (or retrieves) a register by name.
+    pub fn reg(&mut self, name: &str) -> Reg {
+        if let Some(&r) = self.reg_by_name.get(name) {
+            return r;
+        }
+        let r = Reg(self.reg_names.len() as u32);
+        self.reg_names.push(name.to_owned());
+        self.reg_by_name.insert(name.to_owned(), r);
+        r
+    }
+
+    /// Defines a block with no annotation.
+    ///
+    /// Returns the block's label. Defining the same label twice is an error
+    /// reported by [`build`](Self::build).
+    pub fn block(&mut self, name: &str, instrs: Vec<Instr>) -> Label {
+        self.annotated_block(name, Annotation::None, instrs)
+    }
+
+    /// Defines a block with an annotation.
+    pub fn annotated_block(
+        &mut self,
+        name: &str,
+        annotation: Annotation,
+        instrs: Vec<Instr>,
+    ) -> Label {
+        let l = self.label(name);
+        if self.blocks[l.index()].is_some() {
+            // Record the duplicate; reported at build time.
+            self.definition_order.push(l);
+            return l;
+        }
+        self.blocks[l.index()] = Some(Block { annotation, instrs });
+        self.definition_order.push(l);
+        l
+    }
+
+    /// Overrides the entry block (defaults to the first block defined).
+    pub fn entry(&mut self, label: Label) -> &mut Self {
+        self.entry = Some(label);
+        self
+    }
+
+    fn name(&self, l: Label) -> String {
+        self.label_names[l.index()].clone()
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] found: undefined or duplicate
+    /// labels, empty blocks, missing or early terminators, `prppt` handlers
+    /// that do not exist, or `jralloc` continuations that are not `jtppt`
+    /// blocks.
+    pub fn build(self) -> Result<Program, ValidationError> {
+        if self.blocks.is_empty() {
+            return Err(ValidationError::NoBlocks);
+        }
+        // Duplicate definitions.
+        let mut defined = vec![0usize; self.blocks.len()];
+        for &l in &self.definition_order {
+            defined[l.index()] += 1;
+            if defined[l.index()] > 1 {
+                return Err(ValidationError::DuplicateLabel {
+                    label: self.name(l),
+                });
+            }
+        }
+        // All referenced labels must be defined.
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, b) in self.blocks.iter().enumerate() {
+            match b {
+                Some(b) => blocks.push(b.clone()),
+                None => {
+                    return Err(ValidationError::UndefinedLabel {
+                        label: self.label_names[i].clone(),
+                        in_block: "<program>".to_owned(),
+                    })
+                }
+            }
+        }
+
+        let block_name = |l: Label| self.label_names[l.index()].clone();
+
+        for (i, block) in blocks.iter().enumerate() {
+            let here = Label(i as u32);
+            if block.instrs.is_empty() {
+                return Err(ValidationError::EmptyBlock {
+                    block: block_name(here),
+                });
+            }
+            let last = block.instrs.len() - 1;
+            for (j, instr) in block.instrs.iter().enumerate() {
+                if j < last && instr.is_terminator() {
+                    return Err(ValidationError::EarlyTerminator {
+                        block: block_name(here),
+                        index: j,
+                    });
+                }
+            }
+            if !block.instrs[last].is_terminator() {
+                return Err(ValidationError::MissingTerminator {
+                    block: block_name(here),
+                });
+            }
+            // jralloc continuations must be join targets.
+            for instr in &block.instrs {
+                if let Instr::JrAlloc {
+                    cont: Operand::Label(k),
+                    ..
+                } = instr
+                {
+                    if !matches!(blocks[k.index()].annotation, Annotation::JoinTarget { .. }) {
+                        return Err(ValidationError::ContinuationNotJoinTarget {
+                            label: block_name(*k),
+                            in_block: block_name(here),
+                        });
+                    }
+                }
+            }
+            if let Annotation::PromotionReady { handler } = block.annotation {
+                if handler.index() >= blocks.len() {
+                    return Err(ValidationError::UndefinedHandler {
+                        label: format!("#{}", handler.index()),
+                        in_block: block_name(here),
+                    });
+                }
+            }
+        }
+
+        let entry = self
+            .entry
+            .or_else(|| self.definition_order.first().copied())
+            .ok_or(ValidationError::NoBlocks)?;
+
+        Ok(Program {
+            blocks,
+            label_names: self.label_names,
+            reg_names: self.reg_names,
+            label_by_name: self.label_by_name,
+            reg_by_name: self.reg_by_name,
+            entry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Operand};
+
+    fn halt_block(b: &mut ProgramBuilder, name: &str) {
+        b.block(name, vec![Instr::Halt]);
+    }
+
+    #[test]
+    fn build_minimal() {
+        let mut b = ProgramBuilder::new();
+        halt_block(&mut b, "main");
+        let p = b.build().expect("valid program");
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.label_name(p.entry()), "main");
+        assert_eq!(p.instr_count(), 1);
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        let missing = b.label("missing");
+        b.block(
+            "main",
+            vec![Instr::Jump {
+                target: Operand::Label(missing),
+            }],
+        );
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            ValidationError::NoBlocks
+        );
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.block("main", vec![]);
+        assert!(matches!(b.build(), Err(ValidationError::EmptyBlock { .. })));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg("r");
+        b.block(
+            "main",
+            vec![Instr::Move {
+                dst: r,
+                src: Operand::Int(0),
+            }],
+        );
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::MissingTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn early_terminator_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.block("main", vec![Instr::Halt, Instr::Halt]);
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::EarlyTerminator { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        halt_block(&mut b, "main");
+        halt_block(&mut b, "main");
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn jralloc_requires_join_target() {
+        let mut b = ProgramBuilder::new();
+        let exit = b.label("exit");
+        let jr = b.reg("jr");
+        b.block(
+            "main",
+            vec![
+                Instr::JrAlloc {
+                    dst: jr,
+                    cont: Operand::Label(exit),
+                },
+                Instr::Halt,
+            ],
+        );
+        b.block("exit", vec![Instr::Halt]);
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::ContinuationNotJoinTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut b = ProgramBuilder::new();
+        let r1 = b.reg("x");
+        let r2 = b.reg("x");
+        assert_eq!(r1, r2);
+        let l1 = b.label("loop");
+        let l2 = b.label("loop");
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn entry_override() {
+        let mut b = ProgramBuilder::new();
+        halt_block(&mut b, "a");
+        let second = b.label("b");
+        halt_block(&mut b, "b");
+        b.entry(second);
+        let p = b.build().unwrap();
+        assert_eq!(p.label_name(p.entry()), "b");
+    }
+
+    #[test]
+    fn validation_error_display() {
+        let e = ValidationError::UndefinedLabel {
+            label: "x".into(),
+            in_block: "m".into(),
+        };
+        assert_eq!(e.to_string(), "undefined label `x` referenced in block `m`");
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests of the assembler: randomly generated well-formed TPAL
+//! programs must survive `print → parse` losslessly, and parsing is
+//! deterministic.
+
+use proptest::prelude::*;
+
+use tpal_core::asm::{parse_program, print_program};
+use tpal_core::isa::{Annotation, BinOp, Instr, JoinPolicy, MemAddr, Operand, RegMap};
+use tpal_core::program::{Program, ProgramBuilder};
+
+const REGS: [&str; 6] = ["r", "a", "b", "sp", "x_1", "sp_top"];
+
+#[derive(Debug, Clone)]
+enum GenInstr {
+    Move(usize, GenOperand),
+    Op(usize, BinOp, usize, GenOperand),
+    IfJump(usize, usize), // cond reg, target block
+    SNew(usize),
+    SAlloc(usize, u32),
+    SFree(usize, u32),
+    Load(usize, usize, u32),
+    Store(usize, u32, GenOperand),
+    PrmPush(usize, u32),
+    PrmEmpty(usize, usize),
+    HAlloc(usize, GenOperand),
+    HLoad(usize, usize, GenOperand),
+    HStore(usize, GenOperand, GenOperand),
+}
+
+#[derive(Debug, Clone)]
+enum GenOperand {
+    Reg(usize),
+    Int(i64),
+    Label(usize),
+}
+
+fn operand_strategy() -> impl Strategy<Value = GenOperand> {
+    prop_oneof![
+        (0..REGS.len()).prop_map(GenOperand::Reg),
+        (-1000i64..1000).prop_map(GenOperand::Int),
+        (0usize..4).prop_map(GenOperand::Label),
+    ]
+}
+
+fn instr_strategy() -> impl Strategy<Value = GenInstr> {
+    let reg = 0..REGS.len();
+    let off = 0u32..5;
+    prop_oneof![
+        (reg.clone(), operand_strategy()).prop_map(|(d, s)| GenInstr::Move(d, s)),
+        (
+            reg.clone(),
+            proptest::sample::select(BinOp::all()),
+            reg.clone(),
+            operand_strategy()
+        )
+            .prop_map(|(d, o, l, r)| GenInstr::Op(d, o, l, r)),
+        (reg.clone(), 0usize..4).prop_map(|(c, t)| GenInstr::IfJump(c, t)),
+        reg.clone().prop_map(GenInstr::SNew),
+        (reg.clone(), 0u32..4).prop_map(|(s, n)| GenInstr::SAlloc(s, n)),
+        (reg.clone(), 0u32..4).prop_map(|(s, n)| GenInstr::SFree(s, n)),
+        (reg.clone(), reg.clone(), off.clone()).prop_map(|(d, b, o)| GenInstr::Load(d, b, o)),
+        (reg.clone(), off.clone(), operand_strategy())
+            .prop_map(|(b, o, s)| GenInstr::Store(b, o, s)),
+        (reg.clone(), off).prop_map(|(b, o)| GenInstr::PrmPush(b, o)),
+        (reg.clone(), reg.clone()).prop_map(|(d, s)| GenInstr::PrmEmpty(d, s)),
+        (reg.clone(), operand_strategy()).prop_map(|(d, s)| GenInstr::HAlloc(d, s)),
+        (reg.clone(), reg.clone(), operand_strategy())
+            .prop_map(|(d, b, o)| GenInstr::HLoad(d, b, o)),
+        (reg, operand_strategy(), operand_strategy())
+            .prop_map(|(b, o, s)| GenInstr::HStore(b, o, s)),
+    ]
+}
+
+/// Four blocks with random bodies, random annotations, and random
+/// terminators (structurally valid by construction).
+fn program_strategy() -> impl Strategy<Value = Program> {
+    let block = proptest::collection::vec(instr_strategy(), 0..8);
+    (
+        proptest::collection::vec(block, 4..5),
+        proptest::collection::vec(0usize..4, 4..5), // jump targets
+        proptest::collection::vec(0usize..3, 4..5), // annotation selector
+        0usize..4,                                  // jtppt comb target
+        proptest::sample::select(&[JoinPolicy::Assoc, JoinPolicy::AssocComm][..]),
+    )
+        .prop_map(|(bodies, jumps, anns, comb, policy)| {
+            let mut b = ProgramBuilder::new();
+            let names = ["blk0", "blk1", "blk2", "blk3"];
+            let labels: Vec<_> = names.iter().map(|n| b.label(n)).collect();
+            let regs: Vec<_> = REGS.iter().map(|r| b.reg(r)).collect();
+            let to_op = |op: &GenOperand| -> Operand {
+                match op {
+                    GenOperand::Reg(i) => Operand::Reg(regs[*i]),
+                    GenOperand::Int(n) => Operand::Int(*n),
+                    GenOperand::Label(l) => Operand::Label(labels[*l]),
+                }
+            };
+            for (i, body) in bodies.iter().enumerate() {
+                let mut instrs: Vec<Instr> = Vec::new();
+                for gi in body {
+                    instrs.push(match gi {
+                        GenInstr::Move(d, s) => Instr::Move {
+                            dst: regs[*d],
+                            src: to_op(s),
+                        },
+                        GenInstr::Op(d, o, l, r) => Instr::Op {
+                            dst: regs[*d],
+                            op: *o,
+                            lhs: regs[*l],
+                            rhs: to_op(r),
+                        },
+                        GenInstr::IfJump(c, t) => Instr::IfJump {
+                            cond: regs[*c],
+                            target: Operand::Label(labels[*t]),
+                        },
+                        GenInstr::SNew(d) => Instr::SNew { dst: regs[*d] },
+                        GenInstr::SAlloc(s, n) => Instr::SAlloc {
+                            sp: regs[*s],
+                            n: *n,
+                        },
+                        GenInstr::SFree(s, n) => Instr::SFree {
+                            sp: regs[*s],
+                            n: *n,
+                        },
+                        GenInstr::Load(d, base, o) => Instr::Load {
+                            dst: regs[*d],
+                            addr: MemAddr {
+                                base: regs[*base],
+                                offset: *o,
+                            },
+                        },
+                        GenInstr::Store(base, o, s) => Instr::Store {
+                            addr: MemAddr {
+                                base: regs[*base],
+                                offset: *o,
+                            },
+                            src: to_op(s),
+                        },
+                        GenInstr::PrmPush(base, o) => Instr::PrmPush {
+                            addr: MemAddr {
+                                base: regs[*base],
+                                offset: *o,
+                            },
+                        },
+                        GenInstr::PrmEmpty(d, s) => Instr::PrmEmpty {
+                            dst: regs[*d],
+                            sp: regs[*s],
+                        },
+                        GenInstr::HAlloc(d, s) => Instr::HAlloc {
+                            dst: regs[*d],
+                            size: to_op(s),
+                        },
+                        GenInstr::HLoad(d, base, o) => Instr::HLoad {
+                            dst: regs[*d],
+                            base: regs[*base],
+                            offset: to_op(o),
+                        },
+                        GenInstr::HStore(base, o, s) => Instr::HStore {
+                            base: regs[*base],
+                            offset: to_op(o),
+                            src: to_op(s),
+                        },
+                    });
+                }
+                // Terminator: a jump to a random block (always valid).
+                instrs.push(Instr::Jump {
+                    target: Operand::Label(labels[jumps[i]]),
+                });
+                let ann = match anns[i] {
+                    1 => Annotation::PromotionReady {
+                        handler: labels[(i + 1) % 4],
+                    },
+                    2 => Annotation::JoinTarget {
+                        policy,
+                        merge: RegMap::new().with(regs[0], regs[1]),
+                        comb: labels[comb],
+                    },
+                    _ => Annotation::None,
+                };
+                b.annotated_block(names[i], ann, instrs);
+            }
+            b.build().expect("structurally valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(p in program_strategy()) {
+        let text = print_program(&p);
+        let p2 = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let text2 = print_program(&p2);
+        prop_assert_eq!(&text, &text2, "printing is not a fixed point");
+        prop_assert_eq!(p.block_count(), p2.block_count());
+        prop_assert_eq!(p.instr_count(), p2.instr_count());
+        // Block-by-block structural equality.
+        for (l, blk) in p.iter() {
+            let l2 = p2.label(p.label_name(l)).expect("label preserved");
+            let blk2 = p2.block(l2);
+            prop_assert_eq!(blk.instrs.len(), blk2.instrs.len());
+        }
+    }
+
+    #[test]
+    fn parsing_is_deterministic(p in program_strategy()) {
+        let text = print_program(&p);
+        let a = parse_program(&text).unwrap();
+        let b = parse_program(&text).unwrap();
+        prop_assert_eq!(print_program(&a), print_program(&b));
+    }
+}

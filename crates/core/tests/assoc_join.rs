@@ -1,0 +1,170 @@
+//! Ordered join resolution under the `assoc` (non-commutative) policy.
+//!
+//! The program folds the composition of the affine maps
+//! `f_i(x) = m_i·x + c_i` with `m_i = (i mod 3) + 1`, `c_i = i`, over
+//! `i ∈ [0, n)` — composition of affine maps is associative but **not**
+//! commutative, so the result is only correct if join resolution always
+//! combines the parent (earlier iterations) on the left and the child
+//! (later iterations) on the right, in fork-tree order, whatever the
+//! promotion pattern. The composed map is carried in two registers,
+//! exercising multi-pair `ΔR` merging.
+
+use tpal_core::asm::parse_program;
+use tpal_core::machine::{Machine, MachineConfig, SchedulePolicy};
+
+const AFFINE: &str = r#"
+// Fold f_(n-1) ∘ … ∘ f_1 ∘ f_0 where f_i(x) = ((i%3)+1)·x + i.
+// Result: the composed map's coefficients in (pa, pb).
+affine: [.]
+    pa := 1
+    pb := 0
+    jump loop
+exit: [jtppt assoc; {pa -> pa2, pb -> pb2}; comb]
+    halt
+loop: [prppt try_promote]
+    t := hi - lo
+    if-jump t, exit
+    m := lo % 3
+    m := m + 1
+    pa := pa * m
+    pb := pb * m
+    pb := pb + lo
+    lo := lo + 1
+    jump loop
+try_promote: [.]
+    t := hi - lo
+    t := t < 2
+    if-jump t, loop
+    jr := jralloc exit
+    jump promote
+par_try_promote: [.]
+    t := hi - lo
+    t := t < 2
+    if-jump t, loop_par
+    jump promote
+promote: [.]
+    rem := hi - lo
+    half := rem / 2
+    mid := hi - half
+    tl := lo
+    ta := pa
+    tb := pb
+    lo := mid
+    pa := 1
+    pb := 0
+    fork jr, loop_par
+    lo := tl
+    hi := mid
+    pa := ta
+    pb := tb
+    jump loop_par
+loop_par: [prppt par_try_promote]
+    t := hi - lo
+    if-jump t, exit_par
+    m := lo % 3
+    m := m + 1
+    pa := pa * m
+    pb := pb * m
+    pb := pb + lo
+    lo := lo + 1
+    jump loop_par
+comb: [.]
+    // child ∘ parent: pa := pa2·pa ; pb := pa2·pb + pb2
+    pb := pb * pa2
+    pb := pb + pb2
+    pa := pa * pa2
+    join jr
+exit_par: [.]
+    join jr
+"#;
+
+/// Reference fold in Rust (i64 wrapping, matching the machine).
+fn reference(n: i64) -> (i64, i64) {
+    let (mut pa, mut pb) = (1i64, 0i64);
+    for i in 0..n {
+        let m = (i % 3) + 1;
+        pa = pa.wrapping_mul(m);
+        pb = pb.wrapping_mul(m).wrapping_add(i);
+    }
+    (pa, pb)
+}
+
+fn run(n: i64, heartbeat: u64, policy: SchedulePolicy) -> (i64, i64, u64) {
+    let p = parse_program(AFFINE).expect("affine parses");
+    let mut m = Machine::new(
+        &p,
+        MachineConfig::default()
+            .with_heartbeat(heartbeat)
+            .with_policy(policy),
+    );
+    m.set_reg("lo", 0).unwrap();
+    m.set_reg("hi", n).unwrap();
+    let out = m.run().unwrap();
+    (
+        out.read_reg("pa").unwrap(),
+        out.read_reg("pb").unwrap(),
+        out.stats.forks,
+    )
+}
+
+#[test]
+fn serial_matches_reference() {
+    for n in [0, 1, 2, 7, 50] {
+        let (pa, pb, forks) = run(n, u64::MAX, SchedulePolicy::ParentFirst);
+        assert_eq!((pa, pb), reference(n), "n={n}");
+        assert_eq!(forks, 0);
+    }
+}
+
+#[test]
+fn promoted_composition_stays_ordered() {
+    let n = 600;
+    let expect = reference(n);
+    for hb in [25u64, 60, 144, 999] {
+        for policy in [
+            SchedulePolicy::ParentFirst,
+            SchedulePolicy::ChildFirst,
+            SchedulePolicy::RoundRobin { quantum: 5 },
+            SchedulePolicy::Random {
+                seed: 17,
+                quantum: 7,
+            },
+            SchedulePolicy::Random {
+                seed: 18,
+                quantum: 3,
+            },
+        ] {
+            let (pa, pb, forks) = run(n, hb, policy);
+            assert_eq!((pa, pb), expect, "♥={hb} {policy:?} (forks={forks})");
+            if hb == 25 {
+                assert!(forks > 0, "♥=25 over 600 iterations must promote");
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_multicore_stays_ordered() {
+    let p = parse_program(AFFINE).expect("affine parses");
+    let n = 2_000;
+    let expect = reference(n);
+    for cores in [2usize, 5, 13] {
+        for seed in [1u64, 2, 3] {
+            let mut cfg = tpal_sim_config(cores);
+            cfg.seed = seed;
+            let mut sim = tpal_sim::Sim::new(&p, cfg);
+            sim.set_reg("lo", 0).unwrap();
+            sim.set_reg("hi", n).unwrap();
+            let out = sim.run().unwrap();
+            assert_eq!(
+                (out.read_reg("pa").unwrap(), out.read_reg("pb").unwrap()),
+                expect,
+                "cores={cores} seed={seed}"
+            );
+        }
+    }
+}
+
+fn tpal_sim_config(cores: usize) -> tpal_sim::SimConfig {
+    tpal_sim::SimConfig::nautilus(cores, 300)
+}

@@ -1,0 +1,146 @@
+//! Cross-validation of the cost semantics (Figure 28): the executor's
+//! incremental work/span accounting must agree exactly with evaluating
+//! the explicit series-parallel cost graph it can optionally build —
+//! for every program, heartbeat setting, schedule, and τ.
+
+use tpal_core::cost::{lower_bound, CostGraph};
+use tpal_core::machine::{Machine, MachineConfig, SchedulePolicy};
+use tpal_core::program::Program;
+use tpal_core::programs::{fib, pow, prod};
+
+fn check(program: &Program, inputs: &[(&str, i64)], cfg: MachineConfig) -> (u64, u64) {
+    let mut m = Machine::new(program, cfg);
+    for (name, v) in inputs {
+        m.set_reg(name, *v).unwrap();
+    }
+    let out = m.run().unwrap();
+    let g: CostGraph = out.cost_graph.clone().expect("graph built");
+    assert_eq!(
+        g.work(cfg.tau),
+        out.work,
+        "explicit graph work disagrees with incremental accounting"
+    );
+    assert_eq!(
+        g.span(cfg.tau),
+        out.span,
+        "explicit graph span disagrees with incremental accounting"
+    );
+    (out.work, out.span)
+}
+
+#[test]
+fn prod_graph_matches_counters() {
+    let p = prod();
+    for hb in [8u64, 50, 333, u64::MAX] {
+        for tau in [0u64, 1, 25] {
+            let cfg = MachineConfig::default()
+                .with_heartbeat(hb)
+                .with_tau(tau)
+                .with_cost_graph();
+            let (w, s) = check(&p, &[("a", 700), ("b", 3)], cfg);
+            assert!(s <= w);
+        }
+    }
+}
+
+#[test]
+fn prod_graph_matches_under_schedules() {
+    let p = prod();
+    for policy in [
+        SchedulePolicy::ParentFirst,
+        SchedulePolicy::ChildFirst,
+        SchedulePolicy::RoundRobin { quantum: 4 },
+        SchedulePolicy::Random {
+            seed: 5,
+            quantum: 6,
+        },
+    ] {
+        let cfg = MachineConfig::default()
+            .with_heartbeat(20)
+            .with_policy(policy)
+            .with_cost_graph();
+        check(&p, &[("a", 400), ("b", 2)], cfg);
+    }
+}
+
+#[test]
+fn fib_graph_matches_counters() {
+    let p = fib();
+    let cfg = MachineConfig::default()
+        .with_heartbeat(35)
+        .with_tau(7)
+        .with_cost_graph();
+    let (w, s) = check(&p, &[("n", 15)], cfg);
+    assert!(s < w, "promoted fib must have span < work");
+}
+
+#[test]
+fn pow_graph_matches_counters() {
+    let p = pow();
+    let cfg = MachineConfig::default()
+        .with_heartbeat(40)
+        .with_tau(3)
+        .with_cost_graph();
+    check(&p, &[("d", 2), ("e", 16)], cfg);
+}
+
+#[test]
+fn span_is_schedule_invariant() {
+    // Work and span are properties of the induced computation DAG under
+    // a fixed promotion pattern; with deterministic per-task heartbeats
+    // the DAG itself is schedule-invariant, so (work, span) must be too.
+    let p = prod();
+    let mut seen = None;
+    for policy in [
+        SchedulePolicy::ParentFirst,
+        SchedulePolicy::ChildFirst,
+        SchedulePolicy::Random {
+            seed: 1,
+            quantum: 3,
+        },
+    ] {
+        let cfg = MachineConfig::default()
+            .with_heartbeat(16)
+            .with_policy(policy)
+            .with_cost_graph();
+        let ws = check(&p, &[("a", 300), ("b", 5)], cfg);
+        match seen {
+            None => seen = Some(ws),
+            Some(prev) => assert_eq!(prev, ws, "{policy:?}"),
+        }
+    }
+}
+
+#[test]
+fn heartbeat_trades_span_for_work() {
+    // Smaller ♥ ⇒ more promotions ⇒ more total work (handlers, τ) but
+    // shorter critical path: the fundamental trade heartbeat scheduling
+    // navigates.
+    let p = prod();
+    let run = |hb: u64| {
+        let cfg = MachineConfig::default()
+            .with_heartbeat(hb)
+            .with_cost_graph();
+        check(&p, &[("a", 3000), ("b", 1)], cfg)
+    };
+    let (w_fast, s_fast) = run(16);
+    let (w_slow, s_slow) = run(1024);
+    assert!(w_fast > w_slow, "more promotions cost more work");
+    assert!(s_fast < s_slow, "more promotions shorten the span");
+}
+
+#[test]
+fn parallelism_bounds_hold() {
+    let p = fib();
+    let cfg = MachineConfig::default()
+        .with_heartbeat(30)
+        .with_cost_graph();
+    let mut m = Machine::new(&p, cfg);
+    m.set_reg("n", 16).unwrap();
+    let out = m.run().unwrap();
+    // Completion on p processors is bounded below by max(work/p, span).
+    for cores in 1..=16 {
+        assert!(lower_bound(out.work, out.span, cores) >= out.span);
+        assert!(lower_bound(out.work, out.span, cores) * cores >= out.work);
+    }
+}

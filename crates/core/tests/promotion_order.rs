@@ -1,0 +1,85 @@
+//! Promotion-order differential tests.
+//!
+//! `prmsplit` may pop the oldest (the paper's §2.3 outermost-first
+//! policy) or the newest visible mark; either is a sound promotion, so
+//! program results must be identical under both — only the cost profile
+//! (task counts, work, span) may move. These tests pin that invariant on
+//! the three paper programs, and check the direction the paper predicts:
+//! outermost-first promotion extracts at least as much parallelism per
+//! promotion, so it never needs *more* promotions to reach an equal or
+//! better span.
+
+use tpal_core::machine::{Machine, MachineConfig, Outcome, PromotionOrder};
+use tpal_core::program::Program;
+use tpal_core::programs;
+
+fn run(program: &Program, heartbeat: u64, order: PromotionOrder, args: &[(&str, i64)]) -> Outcome {
+    let config = MachineConfig::default()
+        .with_heartbeat(heartbeat)
+        .with_promotion_order(order);
+    let mut m = Machine::new(program, config);
+    for (name, v) in args {
+        m.set_reg(name, *v).unwrap();
+    }
+    m.run().unwrap()
+}
+
+#[test]
+fn prod_result_is_order_independent() {
+    let program = programs::prod();
+    for hb in [8, 32, 128] {
+        let old = run(&program, hb, PromotionOrder::OldestFirst, &[("a", 7), ("b", 400)]);
+        let new = run(&program, hb, PromotionOrder::NewestFirst, &[("a", 7), ("b", 400)]);
+        assert_eq!(old.read_reg("c"), Some(2800));
+        assert_eq!(new.read_reg("c"), Some(2800));
+        // A flat loop exposes one mark at a time: identical schedules.
+        assert_eq!(old.stats.forks, new.stats.forks, "♥={hb}");
+        assert_eq!(old.work, new.work, "♥={hb}");
+    }
+}
+
+#[test]
+fn fib_result_is_order_independent_costs_are_not() {
+    let program = programs::fib();
+    let old = run(&program, 60, PromotionOrder::OldestFirst, &[("n", 18)]);
+    let new = run(&program, 60, PromotionOrder::NewestFirst, &[("n", 18)]);
+    assert_eq!(old.read_reg("f"), Some(2584));
+    assert_eq!(new.read_reg("f"), Some(2584));
+    assert!(old.stats.forks > 0 && new.stats.forks > 0);
+    // Recursion builds a deep mark list, so the two policies genuinely
+    // diverge: newest-first promotes leaf-sized continuations.
+    assert_ne!(
+        (old.stats.forks, old.span),
+        (new.stats.forks, new.span),
+        "policies should produce different schedules on deep recursion"
+    );
+    // The paper's policy promotes the largest latent subcomputation, so
+    // the span it reaches per promotion is at least as good.
+    assert!(
+        old.span <= new.span,
+        "outermost-first span {} should not exceed innermost-first span {}",
+        old.span,
+        new.span
+    );
+}
+
+#[test]
+fn pow_nested_loops_order_independent() {
+    let program = programs::pow();
+    for order in [PromotionOrder::OldestFirst, PromotionOrder::NewestFirst] {
+        let out = run(&program, 25, order, &[("d", 3), ("e", 9)]);
+        assert_eq!(out.read_reg("f"), Some(19_683), "{order:?}");
+        assert!(out.stats.forks > 0, "{order:?} should promote");
+    }
+}
+
+#[test]
+fn fib_sweep_outermost_never_worse_on_span() {
+    let program = programs::fib();
+    for hb in [40, 80, 160] {
+        let old = run(&program, hb, PromotionOrder::OldestFirst, &[("n", 16)]);
+        let new = run(&program, hb, PromotionOrder::NewestFirst, &[("n", 16)]);
+        assert_eq!(old.read_reg("f"), new.read_reg("f"), "♥={hb}");
+        assert!(old.span <= new.span, "♥={hb}: {} vs {}", old.span, new.span);
+    }
+}

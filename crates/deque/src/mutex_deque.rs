@@ -1,0 +1,120 @@
+//! A mutex-protected deque with the same interface as [`crate::chase_lev`].
+//!
+//! This implementation is trivially correct and serves as the oracle in
+//! differential and stress tests of the lock-free deque. It is also useful
+//! for debugging runtime issues with the lock-free implementation ruled out.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::Steal;
+
+/// Owner-side handle of the mutex deque.
+#[derive(Debug)]
+pub struct MutexWorker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief-side handle of the mutex deque.
+#[derive(Debug)]
+pub struct MutexStealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for MutexStealer<T> {
+    fn clone(&self) -> Self {
+        MutexStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a new empty mutex-protected deque.
+pub fn mutex_deque<T>() -> (MutexWorker<T>, MutexStealer<T>) {
+    let inner = Arc::new(Mutex::new(VecDeque::new()));
+    (
+        MutexWorker {
+            inner: Arc::clone(&inner),
+        },
+        MutexStealer { inner },
+    )
+}
+
+impl<T> MutexWorker<T> {
+    /// Pushes a task at the bottom.
+    pub fn push(&self, value: T) {
+        self.inner
+            .lock()
+            .expect("deque lock poisoned")
+            .push_back(value);
+    }
+
+    /// Pops a task from the bottom (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque lock poisoned").pop_back()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque lock poisoned").len()
+    }
+
+    /// Returns `true` if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates another stealer handle.
+    pub fn stealer(&self) -> MutexStealer<T> {
+        MutexStealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> MutexStealer<T> {
+    /// Steals the oldest task from the top (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("deque lock poisoned").pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque lock poisoned").len()
+    }
+
+    /// Returns `true` if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_lockfree_semantics() {
+        let (w, s) = mutex_deque::<i32>();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let (w, s) = mutex_deque::<i32>();
+        assert!(w.is_empty() && s.is_empty());
+        w.push(1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Differential property tests: the lock-free deque must agree with the
+//! mutex-protected oracle on every single-threaded operation sequence.
+
+use proptest::prelude::*;
+use tpal_deque::mutex_deque::mutex_deque;
+use tpal_deque::{deque, Steal};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u16),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u16>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lockfree_matches_oracle(ops in proptest::collection::vec(op_strategy(), 0..400)) {
+        let (w, s) = deque::<u16>();
+        let (ow, os) = mutex_deque::<u16>();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    ow.push(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), ow.pop());
+                }
+                Op::Steal => {
+                    // Single-threaded: Retry is impossible.
+                    let a = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => unreachable!("retry without contention"),
+                    };
+                    let b = os.steal().success();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(w.len(), ow.len());
+        }
+        // Drain and compare the final contents.
+        loop {
+            let (a, b) = (w.pop(), ow.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Concurrency stress tests for the Chase–Lev deque.
+//!
+//! These tests check the two properties the runtimes rely on: no task is
+//! lost, and no task is delivered twice — under concurrent push/pop/steal
+//! traffic, including buffer growth.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use tpal_deque::{deque, Steal};
+
+#[test]
+fn concurrent_steal_no_loss_no_dup() {
+    const N: usize = 100_000;
+    const THIEVES: usize = 4;
+
+    let (w, s) = deque::<usize>();
+    let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..THIEVES {
+            let s = s.clone();
+            let seen = Arc::clone(&seen);
+            let done = Arc::clone(&done);
+            scope.spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) && s.is_empty() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                }
+            });
+        }
+
+        // Owner: interleave pushes and occasional pops.
+        let mut pushed = 0usize;
+        while pushed < N {
+            w.push(pushed);
+            pushed += 1;
+            if pushed.is_multiple_of(7) {
+                if let Some(v) = w.pop() {
+                    seen[v].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            seen[v].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    for (i, c) in seen.iter().enumerate() {
+        assert_eq!(
+            c.load(Ordering::Relaxed),
+            1,
+            "element {i} delivered {} times",
+            c.load(Ordering::Relaxed)
+        );
+    }
+}
+
+#[test]
+fn concurrent_growth_under_steals() {
+    // Push far beyond the initial capacity while thieves are active so the
+    // grow path races with steals.
+    const N: usize = 50_000;
+    let (w, s) = deque::<usize>();
+    let total = Arc::new(AtomicUsize::new(0));
+    let sum = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let s = s.clone();
+            let total = Arc::clone(&total);
+            let sum = Arc::clone(&sum);
+            let done = Arc::clone(&done);
+            scope.spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        total.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                    Steal::Empty => {
+                        if done.load(Ordering::Acquire) && s.is_empty() {
+                            break;
+                        }
+                    }
+                    Steal::Retry => {}
+                }
+            });
+        }
+        for i in 0..N {
+            w.push(i);
+        }
+        while let Some(v) = w.pop() {
+            total.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(v, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(total.load(Ordering::Relaxed), N);
+    assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+}
+
+#[test]
+fn boxed_payloads_are_not_double_freed() {
+    // Heap payloads under racing pop/steal would crash or corrupt on a
+    // double-free; run enough rounds to make races likely.
+    for _ in 0..50 {
+        let (w, s) = deque::<Box<usize>>();
+        let got = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let got2 = Arc::clone(&got);
+            let s = s.clone();
+            scope.spawn(move || {
+                while got2.load(Ordering::Relaxed) < 1000 {
+                    if let Steal::Success(b) = s.steal() {
+                        assert!(*b < 1000);
+                        got2.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            for i in 0..1000 {
+                w.push(Box::new(i));
+                if let Some(b) = w.pop() {
+                    assert!(*b < 1000);
+                    got.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            while got.load(Ordering::Relaxed) < 1000 {
+                if let Some(b) = w.pop() {
+                    assert!(*b < 1000);
+                    got.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(got.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,445 @@
+//! End-to-end tests of the IR lowering: every program is lowered in all
+//! three modes and executed on the reference machine under several
+//! heartbeat settings and schedules; all must agree with the expected
+//! result.
+
+use tpal_core::isa::BinOp;
+use tpal_core::machine::{ExecStats, Machine, MachineConfig, SchedulePolicy};
+use tpal_ir::ast::{CallSpec, Expr, Function, IrProgram, ParFor, ParForNested, Reducer, Stmt};
+use tpal_ir::lower::{lower, Lowered, Mode};
+
+fn v(s: &str) -> Expr {
+    Expr::var(s)
+}
+
+fn i(n: i64) -> Expr {
+    Expr::int(n)
+}
+
+/// Runs a lowered program with integer inputs and (optionally) one input
+/// array; returns the result register and stats.
+fn run_with(
+    lowered: &Lowered,
+    config: MachineConfig,
+    ints: &[(&str, i64)],
+    arrays: &[(&str, &[i64])],
+) -> (i64, ExecStats, Vec<i64>) {
+    let mut m = Machine::new(&lowered.program, config);
+    let mut bases = Vec::new();
+    for (p, data) in arrays {
+        let base = m.alloc_array(data);
+        bases.push((base, data.len()));
+        m.set_reg(&lowered.param_reg(p), base).unwrap();
+    }
+    for (p, n) in ints {
+        m.set_reg(&lowered.param_reg(p), *n).unwrap();
+    }
+    let out = m.run().unwrap_or_else(|e| panic!("machine error: {e}"));
+    let result = out
+        .read_reg(&lowered.result_reg)
+        .expect("result register set");
+    let heap0 = bases
+        .first()
+        .map(|&(b, l)| m.heap().slice(b, l).unwrap().to_vec())
+        .unwrap_or_default();
+    (result, out.stats, heap0)
+}
+
+/// Checks a program against an expected result in every mode, heartbeat
+/// setting, and schedule; returns heartbeat-mode stats at the smallest ♥.
+fn check_all_modes(
+    ir: &IrProgram,
+    ints: &[(&str, i64)],
+    arrays: &[(&str, &[i64])],
+    expected: i64,
+) -> ExecStats {
+    let serial = lower(ir, Mode::Serial).expect("serial lowering");
+    let (r, s, _) = run_with(&serial, MachineConfig::serial(), ints, arrays);
+    assert_eq!(r, expected, "serial mode");
+    assert_eq!(s.forks, 0, "serial mode must not fork");
+
+    let eager = lower(ir, Mode::Eager { workers: 4 }).expect("eager lowering");
+    for policy in [
+        SchedulePolicy::ParentFirst,
+        SchedulePolicy::Random {
+            seed: 9,
+            quantum: 13,
+        },
+    ] {
+        let (r, _, _) = run_with(
+            &eager,
+            MachineConfig::serial().with_policy(policy),
+            ints,
+            arrays,
+        );
+        assert_eq!(r, expected, "eager mode {policy:?}");
+    }
+
+    let hbx = lower(ir, Mode::HeartbeatExpanded).expect("expanded lowering");
+    for heartbeat in [60, u64::MAX] {
+        let (r, s, _) = run_with(
+            &hbx,
+            MachineConfig::default().with_heartbeat(heartbeat),
+            ints,
+            arrays,
+        );
+        assert_eq!(r, expected, "expanded heartbeat ♥={heartbeat}");
+        if heartbeat == u64::MAX {
+            assert_eq!(s.forks, 0, "expanded serial path must not fork");
+        }
+    }
+
+    let hb = lower(ir, Mode::Heartbeat).expect("heartbeat lowering");
+    let mut min_stats = None;
+    for heartbeat in [60, 301, u64::MAX] {
+        for policy in [
+            SchedulePolicy::ParentFirst,
+            SchedulePolicy::ChildFirst,
+            SchedulePolicy::Random {
+                seed: 3,
+                quantum: 17,
+            },
+        ] {
+            let (r, s, _) = run_with(
+                &hb,
+                MachineConfig::default()
+                    .with_heartbeat(heartbeat)
+                    .with_policy(policy),
+                ints,
+                arrays,
+            );
+            assert_eq!(r, expected, "heartbeat mode ♥={heartbeat} {policy:?}");
+            if heartbeat == 60 && min_stats.is_none() {
+                min_stats = Some(s);
+            }
+        }
+    }
+    min_stats.unwrap()
+}
+
+#[test]
+fn straightline_arithmetic() {
+    let f = Function::new("main", ["x"])
+        .stmt(Stmt::assign("y", v("x").mul(i(3)).add(i(4))))
+        .stmt(Stmt::Return(v("y").sub(i(1))));
+    let ir = IrProgram::new("main").function(f);
+    check_all_modes(&ir, &[("x", 10)], &[], 33);
+}
+
+#[test]
+fn if_else_and_while() {
+    // Collatz step count for n = 27 is 111.
+    let f = Function::new("main", ["n"])
+        .stmt(Stmt::assign("c", i(0)))
+        .stmt(Stmt::While {
+            cond: v("n").ne(i(1)),
+            body: vec![
+                Stmt::if_else(
+                    v("n").rem(i(2)).eq_(i(0)),
+                    vec![Stmt::assign("n", v("n").div(i(2)))],
+                    vec![Stmt::assign("n", v("n").mul(i(3)).add(i(1)))],
+                ),
+                Stmt::assign("c", v("c").add(i(1))),
+            ],
+        })
+        .stmt(Stmt::Return(v("c")));
+    let ir = IrProgram::new("main").function(f);
+    check_all_modes(&ir, &[("n", 27)], &[], 111);
+}
+
+#[test]
+fn serial_calls_and_recursion() {
+    // fact(10) via serial recursion.
+    let fact = Function::new("fact", ["n"])
+        .stmt(Stmt::if_(v("n").le(i(1)), vec![Stmt::Return(i(1))]))
+        .stmt(Stmt::call("fact", vec![v("n").sub(i(1))], Some("r")))
+        .stmt(Stmt::Return(v("n").mul(v("r"))));
+    let main = Function::new("main", ["n"])
+        .stmt(Stmt::call("fact", vec![v("n")], Some("out")))
+        .stmt(Stmt::Return(v("out")));
+    let ir = IrProgram::new("main").function(main).function(fact);
+    check_all_modes(&ir, &[("n", 10)], &[], 3_628_800);
+}
+
+#[test]
+fn heap_alloc_load_store() {
+    let f = Function::new("main", ["n"])
+        .stmt(Stmt::Alloc {
+            var: "a".into(),
+            size: v("n"),
+        })
+        .stmt(Stmt::for_(
+            "i",
+            i(0),
+            v("n"),
+            vec![Stmt::store(v("a"), v("i"), v("i").mul(v("i")))],
+        ))
+        .stmt(Stmt::assign("s", i(0)))
+        .stmt(Stmt::for_(
+            "i",
+            i(0),
+            v("n"),
+            vec![Stmt::assign("s", v("s").add(v("a").load(v("i"))))],
+        ))
+        .stmt(Stmt::Return(v("s")));
+    let ir = IrProgram::new("main").function(f);
+    // Σ i² for i<10 = 285
+    check_all_modes(&ir, &[("n", 10)], &[], 285);
+}
+
+fn fib_ir() -> IrProgram {
+    let fib = Function::new("fib", ["n"])
+        .stmt(Stmt::if_(v("n").lt(i(2)), vec![Stmt::Return(v("n"))]))
+        .stmt(Stmt::Par2 {
+            left: CallSpec::new("fib", vec![v("n").sub(i(1))], "f1"),
+            right: CallSpec::new("fib", vec![v("n").sub(i(2))], "f2"),
+        })
+        .stmt(Stmt::Return(v("f1").add(v("f2"))));
+    IrProgram::new("fib").function(fib)
+}
+
+#[test]
+fn par2_fib() {
+    let stats = check_all_modes(&fib_ir(), &[("n", 15)], &[], 610);
+    assert!(stats.forks > 0, "heartbeat fib should promote: {stats:?}");
+}
+
+#[test]
+fn par2_eager_forks_per_spawn() {
+    let eager = lower(&fib_ir(), Mode::Eager { workers: 4 }).unwrap();
+    let (r, s, _) = run_with(&eager, MachineConfig::serial(), &[("n", 12)], &[]);
+    assert_eq!(r, 144);
+    // Eager mode forks once per internal call-tree node.
+    assert!(s.forks > 80, "expected a fork per spawn, got {}", s.forks);
+}
+
+#[test]
+fn par2_heartbeat_serial_path_zero_forks() {
+    let hb = lower(&fib_ir(), Mode::Heartbeat).unwrap();
+    let (r, s, _) = run_with(
+        &hb,
+        MachineConfig::serial(), // ♥ = ∞
+        &[("n", 12)],
+        &[],
+    );
+    assert_eq!(r, 144);
+    assert_eq!(s.forks, 0, "no heartbeat → no promotion");
+}
+
+#[test]
+fn parfor_sum_reduction() {
+    let f = Function::new("main", ["a", "n"])
+        .stmt(Stmt::assign("s", i(0)))
+        .stmt(Stmt::ParFor(
+            ParFor::new("i", i(0), v("n"))
+                .body(vec![Stmt::assign("s", v("s").add(v("a").load(v("i"))))])
+                .reducer(Reducer::new("s", BinOp::Add, 0)),
+        ))
+        .stmt(Stmt::Return(v("s")));
+    let ir = IrProgram::new("main").function(f);
+    let data: Vec<i64> = (1..=500).collect();
+    let stats = check_all_modes(&ir, &[("n", 500)], &[("a", &data)], 500 * 501 / 2);
+    assert!(stats.forks > 0, "500 iterations at ♥=60 should promote");
+}
+
+#[test]
+fn parfor_writes_disjoint_heap() {
+    // out[i] = 2*in[i]; verified through a second serial sum.
+    let f = Function::new("main", ["a", "n"])
+        .stmt(Stmt::Alloc {
+            var: "out".into(),
+            size: v("n"),
+        })
+        .stmt(Stmt::ParFor(ParFor::new("i", i(0), v("n")).body(vec![
+            Stmt::store(v("out"), v("i"), v("a").load(v("i")).mul(i(2))),
+        ])))
+        .stmt(Stmt::assign("s", i(0)))
+        .stmt(Stmt::for_(
+            "j",
+            i(0),
+            v("n"),
+            vec![Stmt::assign("s", v("s").add(v("out").load(v("j"))))],
+        ))
+        .stmt(Stmt::Return(v("s")));
+    let ir = IrProgram::new("main").function(f);
+    let data: Vec<i64> = (0..300).collect();
+    check_all_modes(&ir, &[("n", 300)], &[("a", &data)], 2 * 299 * 300 / 2);
+}
+
+#[test]
+fn parfor_min_max_reducers() {
+    let f = Function::new("main", ["a", "n"])
+        .stmt(Stmt::assign("lo", i(i64::MAX)))
+        .stmt(Stmt::assign("hi", i(i64::MIN)))
+        .stmt(Stmt::ParFor(
+            ParFor::new("i", i(0), v("n"))
+                .body(vec![
+                    Stmt::assign("lo", v("lo").min(v("a").load(v("i")))),
+                    Stmt::assign("hi", v("hi").max(v("a").load(v("i")))),
+                ])
+                .reducer(Reducer::new("lo", BinOp::Min, i64::MAX))
+                .reducer(Reducer::new("hi", BinOp::Max, i64::MIN)),
+        ))
+        .stmt(Stmt::Return(v("hi").sub(v("lo"))));
+    let ir = IrProgram::new("main").function(f);
+    let data: Vec<i64> = (0..400).map(|x| (x * 37) % 1000 - 200).collect();
+    let lo = *data.iter().min().unwrap();
+    let hi = *data.iter().max().unwrap();
+    check_all_modes(&ir, &[("n", 400)], &[("a", &data)], hi - lo);
+}
+
+#[test]
+fn nested_parfor_matrix_row_sums() {
+    // total = Σ_rows (Σ_cols m[r*c + j]) — a ParForNested with an inner
+    // reduction feeding an outer reduction through the epilogue.
+    let n = ParForNested {
+        outer_var: "r".into(),
+        outer_from: i(0),
+        outer_to: v("rows"),
+        pre: vec![
+            Stmt::assign("rowsum", i(0)),
+            Stmt::assign("base", v("r").mul(v("cols"))),
+        ],
+        inner_var: "j".into(),
+        inner_from: i(0),
+        inner_to: v("cols"),
+        inner_body: vec![Stmt::assign(
+            "rowsum",
+            v("rowsum").add(v("m").load(v("base").add(v("j")))),
+        )],
+        inner_reducers: vec![Reducer::new("rowsum", BinOp::Add, 0)],
+        post: vec![Stmt::assign("total", v("total").add(v("rowsum")))],
+        outer_reducers: vec![Reducer::new("total", BinOp::Add, 0)],
+    };
+    let f = Function::new("main", ["m", "rows", "cols"])
+        .stmt(Stmt::assign("total", i(0)))
+        .stmt(Stmt::ParForNested(Box::new(n)))
+        .stmt(Stmt::Return(v("total")));
+    let ir = IrProgram::new("main").function(f);
+    let (rows, cols) = (20i64, 30i64);
+    let data: Vec<i64> = (0..rows * cols).collect();
+    let expected: i64 = data.iter().sum();
+    let stats = check_all_modes(
+        &ir,
+        &[("rows", rows), ("cols", cols)],
+        &[("m", &data)],
+        expected,
+    );
+    assert!(stats.forks > 0);
+}
+
+#[test]
+fn parfor_inside_par2_function() {
+    // Recursion whose leaves run a parallel loop: the shape of mergesort.
+    // work(d, a, n): if d == 0 { parfor i: s += a[i]; return s }
+    //               else { Par2(work(d-1), work(d-1)); return l + r }
+    let work = Function::new("work", ["d", "a", "n"])
+        .stmt(Stmt::if_(
+            v("d").eq_(i(0)),
+            vec![
+                Stmt::assign("s", i(0)),
+                Stmt::ParFor(
+                    ParFor::new("i", i(0), v("n"))
+                        .body(vec![Stmt::assign("s", v("s").add(v("a").load(v("i"))))])
+                        .reducer(Reducer::new("s", BinOp::Add, 0)),
+                ),
+                Stmt::Return(v("s")),
+            ],
+        ))
+        .stmt(Stmt::Par2 {
+            left: CallSpec::new("work", vec![v("d").sub(i(1)), v("a"), v("n")], "l"),
+            right: CallSpec::new("work", vec![v("d").sub(i(1)), v("a"), v("n")], "r"),
+        })
+        // Read a parameter after the Par2: the caller's own `d` must
+        // survive both calls (regression test for the eager-mode
+        // frame/parameter ordering bug).
+        .stmt(Stmt::Return(v("l").add(v("r")).add(v("d")).sub(v("d"))));
+    let ir = IrProgram::new("work").function(work);
+    let data: Vec<i64> = (1..=64).collect();
+    let leaf: i64 = data.iter().sum();
+    // depth 3 → 8 leaves
+    check_all_modes(&ir, &[("d", 3), ("n", 64)], &[("a", &data)], 8 * leaf);
+}
+
+#[test]
+fn lowering_errors() {
+    // Unknown function.
+    let bad = IrProgram::new("main").function(Function::new("main", ["x"]).stmt(Stmt::call(
+        "nope",
+        vec![],
+        Some("y"),
+    )));
+    assert!(matches!(
+        lower(&bad, Mode::Serial),
+        Err(tpal_ir::LowerError::UnknownFunction { .. })
+    ));
+
+    // Arity mismatch.
+    let bad = IrProgram::new("main")
+        .function(Function::new("main", ["x"]).stmt(Stmt::call("g", vec![], Some("y"))))
+        .function(Function::new("g", ["a", "b"]));
+    assert!(matches!(
+        lower(&bad, Mode::Serial),
+        Err(tpal_ir::LowerError::ArityMismatch {
+            expected: 2,
+            got: 0,
+            ..
+        })
+    ));
+
+    // Parallelism inside a ParFor body.
+    let bad = IrProgram::new("main").function(Function::new("main", ["n"]).stmt(Stmt::ParFor(
+        ParFor::new("i", i(0), v("n")).body(vec![Stmt::ParFor(ParFor::new("j", i(0), i(1)))]),
+    )));
+    assert!(matches!(
+        lower(&bad, Mode::Heartbeat),
+        Err(tpal_ir::LowerError::NestedParallelism { .. })
+    ));
+
+    // Missing entry.
+    let bad = IrProgram::new("absent");
+    assert!(matches!(
+        lower(&bad, Mode::Serial),
+        Err(tpal_ir::LowerError::MissingEntry { .. })
+    ));
+}
+
+#[test]
+fn heartbeat_controls_promotion_count() {
+    let f = Function::new("main", ["n"])
+        .stmt(Stmt::assign("s", i(0)))
+        .stmt(Stmt::ParFor(
+            ParFor::new("k", i(0), v("n"))
+                .body(vec![Stmt::assign("s", v("s").add(v("k")))])
+                .reducer(Reducer::new("s", BinOp::Add, 0)),
+        ))
+        .stmt(Stmt::Return(v("s")));
+    let ir = IrProgram::new("main").function(f);
+    let hb = lower(&ir, Mode::Heartbeat).unwrap();
+    let n = 20_000i64;
+    let expected = n * (n - 1) / 2;
+
+    let (r1, s1, _) = run_with(
+        &hb,
+        MachineConfig::default().with_heartbeat(100),
+        &[("n", n)],
+        &[],
+    );
+    let (r2, s2, _) = run_with(
+        &hb,
+        MachineConfig::default().with_heartbeat(2000),
+        &[("n", n)],
+        &[],
+    );
+    assert_eq!(r1, expected);
+    assert_eq!(r2, expected);
+    assert!(
+        s1.forks > s2.forks,
+        "smaller ♥ must create more tasks ({} vs {})",
+        s1.forks,
+        s2.forks
+    );
+    // Amortisation: promotions are bounded by instructions/♥ (handler
+    // instructions included, hence the slack factor).
+    assert!(s1.promotions <= s1.instructions / 100 + 1);
+}

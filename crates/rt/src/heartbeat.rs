@@ -1,0 +1,153 @@
+//! Heartbeat delivery mechanisms (§3.2 and §5 of the paper).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How heartbeats reach the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatSource {
+    /// A dedicated thread raises each worker's flag in turn every ♥
+    /// (the Linux `INT-PingThread` mechanism: simple, linear, jittery).
+    PingThread,
+    /// Each worker compares the CPU timestamp counter against a private
+    /// deadline at promotion-ready points (the Nautilus per-core APIC
+    /// timer mechanism: precise, no cross-thread traffic).
+    LocalTimer,
+    /// Heartbeats never fire; latent parallelism is never promoted.
+    Disabled,
+}
+
+/// Reads the CPU timestamp counter (x86-64), or a monotonic-clock
+/// fallback in nanoseconds elsewhere.
+#[inline]
+pub(crate) fn now_ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: RDTSC has no preconditions.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static START: OnceLock<Instant> = OnceLock::new();
+        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Measures timestamp ticks per microsecond (one-time calibration, like
+/// the paper's per-machine ♥ tuning step).
+pub(crate) fn calibrate_ticks_per_us() -> u64 {
+    let t0 = now_ticks();
+    let w0 = std::time::Instant::now();
+    std::thread::sleep(Duration::from_millis(5));
+    let ticks = now_ticks().saturating_sub(t0);
+    let us = w0.elapsed().as_micros().max(1) as u64;
+    (ticks / us).max(1)
+}
+
+/// Per-worker heartbeat state.
+#[derive(Debug)]
+pub(crate) struct HeartbeatCell {
+    /// Raised by the ping thread; consumed at promotion-ready points.
+    pub flag: AtomicBool,
+    /// Next local-timer deadline in ticks.
+    pub deadline: AtomicU64,
+    /// Heartbeats delivered to this worker.
+    pub delivered: AtomicU64,
+}
+
+impl HeartbeatCell {
+    pub(crate) fn new() -> Self {
+        HeartbeatCell {
+            flag: AtomicBool::new(false),
+            deadline: AtomicU64::new(u64::MAX),
+            delivered: AtomicU64::new(0),
+        }
+    }
+
+    /// Ping-thread delivery.
+    pub(crate) fn raise(&self) {
+        self.flag.store(true, Ordering::Release);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The promotion-point check. Returns `true` when a heartbeat is due
+    /// on this worker under the given source.
+    #[inline]
+    pub(crate) fn poll(&self, source: HeartbeatSource, interval_ticks: u64) -> bool {
+        match source {
+            HeartbeatSource::Disabled => false,
+            HeartbeatSource::PingThread => {
+                // One relaxed load in the common case.
+                if self.flag.load(Ordering::Relaxed) {
+                    self.flag.store(false, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            HeartbeatSource::LocalTimer => {
+                let now = now_ticks();
+                let deadline = self.deadline.load(Ordering::Relaxed);
+                if now >= deadline {
+                    self.deadline
+                        .store(now.wrapping_add(interval_ticks), Ordering::Relaxed);
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Arms the local timer.
+    pub(crate) fn arm(&self, interval_ticks: u64) {
+        self.deadline
+            .store(now_ticks().wrapping_add(interval_ticks), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_advance() {
+        let a = now_ticks();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(now_ticks() > a);
+    }
+
+    #[test]
+    fn calibration_positive() {
+        assert!(calibrate_ticks_per_us() >= 1);
+    }
+
+    #[test]
+    fn ping_flag_consumed_once() {
+        let c = HeartbeatCell::new();
+        assert!(!c.poll(HeartbeatSource::PingThread, 0));
+        c.raise();
+        assert!(c.poll(HeartbeatSource::PingThread, 0));
+        assert!(!c.poll(HeartbeatSource::PingThread, 0));
+        assert_eq!(c.delivered.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disabled_never_beats() {
+        let c = HeartbeatCell::new();
+        c.raise();
+        assert!(!c.poll(HeartbeatSource::Disabled, 0));
+    }
+
+    #[test]
+    fn local_timer_beats_after_deadline() {
+        let c = HeartbeatCell::new();
+        c.deadline.store(0, Ordering::Relaxed);
+        assert!(c.poll(HeartbeatSource::LocalTimer, u64::MAX / 2));
+        // Re-armed far in the future.
+        assert!(!c.poll(HeartbeatSource::LocalTimer, u64::MAX / 2));
+    }
+}

@@ -1,0 +1,135 @@
+//! Type-erased jobs and completion latches.
+//!
+//! Promoted tasks reference state on the promoting worker's stack (the
+//! latent closure, the loop body, reducer cells). That is sound because
+//! every construct joins — waits for all tasks it published — before its
+//! stack frame dies, the same discipline `rayon::scope` relies on. The
+//! unsafety is confined to this module and `parallel.rs`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::pool::WorkerCtx;
+
+/// A type-erased unit of work, executable by any worker.
+pub(crate) struct Job {
+    data: *mut (),
+    exec: unsafe fn(*mut (), &WorkerCtx<'_>),
+}
+
+// SAFETY: jobs are only constructed from Sync closures plus atomically
+// synchronised result cells, and are executed exactly once.
+unsafe impl Send for Job {}
+
+impl Job {
+    /// Creates a job from a raw pointer and an exec function.
+    ///
+    /// # Safety
+    ///
+    /// `data` must remain valid until the job has executed, and `exec`
+    /// must tolerate running on any worker thread.
+    pub(crate) unsafe fn new(data: *mut (), exec: unsafe fn(*mut (), &WorkerCtx<'_>)) -> Job {
+        Job { data, exec }
+    }
+
+    /// Runs the job on the given worker.
+    pub(crate) fn run(self, ctx: &WorkerCtx<'_>) {
+        // SAFETY: contract established at construction.
+        unsafe { (self.exec)(self.data, ctx) }
+    }
+}
+
+/// A one-shot completion counter: `wait`ers help the pool until the
+/// count reaches zero.
+#[derive(Debug)]
+pub(crate) struct CountLatch {
+    pending: AtomicU32,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> Self {
+        CountLatch {
+            pending: AtomicU32::new(0),
+        }
+    }
+
+    pub(crate) fn add(&self, n: u32) {
+        self.pending.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn done(&self) {
+        self.pending.fetch_sub(1, Ordering::Release);
+    }
+
+    pub(crate) fn is_clear(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+}
+
+/// States of a latent (mark-list) entry.
+pub(crate) mod latent_state {
+    /// Still latent: may be promoted or claimed inline.
+    pub const LATENT: u32 = 0;
+    /// Promoted into a task (queued or running).
+    pub const PROMOTED: u32 = 1;
+    /// Claimed by its owner for inline execution.
+    pub const CLAIMED: u32 = 2;
+    /// The promoted task finished; the result slot is initialised.
+    pub const DONE: u32 = 3;
+}
+
+/// The state word of a latent entry.
+#[derive(Debug)]
+pub(crate) struct LatentState(pub AtomicU32);
+
+impl LatentState {
+    pub(crate) fn new() -> Self {
+        LatentState(AtomicU32::new(latent_state::LATENT))
+    }
+
+    /// Attempts `LATENT → to`; returns whether the transition won.
+    pub(crate) fn claim(&self, to: u32) -> bool {
+        self.0
+            .compare_exchange(
+                latent_state::LATENT,
+                to,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    pub(crate) fn set_done(&self) {
+        self.0.store(latent_state::DONE, Ordering::Release);
+    }
+
+    pub(crate) fn get(&self) -> u32 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_counts() {
+        let l = CountLatch::new();
+        assert!(l.is_clear());
+        l.add(2);
+        assert!(!l.is_clear());
+        l.done();
+        assert!(!l.is_clear());
+        l.done();
+        assert!(l.is_clear());
+    }
+
+    #[test]
+    fn latent_state_single_claim() {
+        let s = LatentState::new();
+        assert!(s.claim(latent_state::PROMOTED));
+        assert!(!s.claim(latent_state::CLAIMED));
+        assert_eq!(s.get(), latent_state::PROMOTED);
+        s.set_done();
+        assert_eq!(s.get(), latent_state::DONE);
+    }
+}

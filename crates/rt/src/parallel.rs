@@ -1,0 +1,376 @@
+//! The heartbeat parallel constructs: latent fork-join and latent loops.
+//!
+//! Both constructs are *serial by default*: `join2` runs two closures
+//! back to back and `reduce`/`parallel_for` run an ordinary sequential
+//! loop. Each polls the worker's heartbeat at its promotion-ready points
+//! (the fork point; every loop iteration). When a beat is due, the
+//! handler promotes the **oldest** latent fork on the mark list
+//! (outermost first, Appendix B.2) or, if none exists, splits the
+//! remaining iterations of the current loop in half (Figure 2). Either
+//! way, exactly one task is created per beat, so task-creation cost is
+//! amortised against ♥ of useful work.
+
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+use parking_lot::Mutex;
+
+use crate::job::{latent_state, CountLatch, Job, LatentState};
+use crate::pool::{LatentSlot, WorkerCtx};
+
+impl WorkerCtx<'_> {
+    /// Polls the heartbeat source; `true` when a beat is due on this
+    /// worker (consumes the beat).
+    ///
+    /// Local-timer polls are subsampled: the timestamp counter is read
+    /// only every 32nd call, so the common-case cost is one counter
+    /// decrement — the polling budget the paper's §6 discussion targets.
+    #[inline]
+    pub fn heartbeat_due(&self) -> bool {
+        if matches!(self.shared.source, crate::HeartbeatSource::LocalTimer) {
+            let skip = self.poll_skip.get();
+            if skip > 0 {
+                self.poll_skip.set(skip - 1);
+                return false;
+            }
+            self.poll_skip.set(31);
+        }
+        self.shared.workers[self.id]
+            .hb
+            .poll(self.shared.source, self.shared.interval_ticks)
+    }
+
+    /// Promotes the oldest latent fork, if any. Returns whether a task
+    /// was created.
+    fn promote_oldest_latent(&self) -> bool {
+        let slot = {
+            let list = self.latent.borrow();
+            list.iter()
+                .find(|s| {
+                    // SAFETY: slots point into live join2 frames (see the
+                    // mark-list discipline in `join2`).
+                    unsafe { (*s.state).get() == latent_state::LATENT }
+                })
+                .copied()
+        };
+        let Some(slot) = slot else { return false };
+        // SAFETY: as above; the CAS arbitrates against the owner's
+        // inline claim.
+        let won = unsafe { (*slot.state).claim(latent_state::PROMOTED) };
+        if !won {
+            return false;
+        }
+        // SAFETY: the slot's constructor guarantees make_job/data match.
+        let job = unsafe { (slot.make_job)(slot.data) };
+        self.push_job(job);
+        true
+    }
+
+    /// Services a due heartbeat at a promotion-ready point that has no
+    /// loop of its own to split. Returns whether a promotion happened.
+    pub fn poll_promote(&self) -> bool {
+        if !self.heartbeat_due() {
+            return false;
+        }
+        let c = &self.shared.counters;
+        c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
+        if self.shared.suppress_promotions {
+            return false;
+        }
+        if self.promote_oldest_latent() {
+            c.promotions.fetch_add(1, Ordering::Relaxed);
+            c.tasks_created.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Latent binary fork-join (the `fork`/`join` interface of Figure 3,
+    /// with the serial-by-default semantics of Figures 22/23): runs
+    /// `a` immediately; `b` stays latent on the mark list and is
+    /// executed inline after `a` unless a heartbeat promoted it to a
+    /// task in the meantime.
+    pub fn join2<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce(&WorkerCtx<'_>) -> RA,
+        B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+        RB: Send,
+    {
+        struct Entry<B, RB> {
+            state: LatentState,
+            b: UnsafeCell<Option<B>>,
+            result: UnsafeCell<Option<RB>>,
+        }
+
+        unsafe fn exec_entry<B, RB>(data: *mut (), ctx: &WorkerCtx<'_>)
+        where
+            B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+            RB: Send,
+        {
+            // SAFETY: the owning join2 frame outlives this job (it helps
+            // until `state` is DONE). The state CAS guarantees exclusive
+            // access to `b`.
+            let e = unsafe { &*(data as *const Entry<B, RB>) };
+            let b = unsafe { (*e.b.get()).take().expect("latent body taken once") };
+            let rb = b(ctx);
+            // SAFETY: exclusive until DONE is published.
+            unsafe { *e.result.get() = Some(rb) };
+            e.state.set_done();
+        }
+
+        unsafe fn mk<B, RB>(data: *const ()) -> Job
+        where
+            B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+            RB: Send,
+        {
+            // SAFETY: forwarded contract.
+            unsafe { Job::new(data as *mut (), exec_entry::<B, RB>) }
+        }
+
+        let entry: Entry<B, RB> = Entry {
+            state: LatentState::new(),
+            b: UnsafeCell::new(Some(b)),
+            result: UnsafeCell::new(None),
+        };
+        self.latent.borrow_mut().push(LatentSlot {
+            state: &entry.state,
+            data: &entry as *const Entry<B, RB> as *const (),
+            make_job: mk::<B, RB>,
+        });
+
+        // The fork point is itself promotion-ready.
+        self.poll_promote();
+
+        let ra = a(self);
+
+        let slot = self
+            .latent
+            .borrow_mut()
+            .pop()
+            .expect("mark list imbalance: join2 frames must nest");
+        debug_assert!(std::ptr::eq(
+            slot.data,
+            &entry as *const Entry<B, RB> as *const ()
+        ));
+
+        if entry.state.claim(latent_state::CLAIMED) {
+            // Still latent: run b inline — the zero-cost serial path.
+            // SAFETY: the claim gives exclusive access.
+            let b = unsafe { (*entry.b.get()).take().expect("latent body present") };
+            let rb = b(self);
+            (ra, rb)
+        } else {
+            // Promoted: help the pool until the task completes.
+            self.help_until(|| entry.state.get() == latent_state::DONE);
+            // SAFETY: DONE (acquire) publishes the result.
+            let rb = unsafe { (*entry.result.get()).take().expect("result published") };
+            (ra, rb)
+        }
+    }
+
+    /// A latent parallel loop with a reduction: `acc = body(ctx, i, acc)`
+    /// folded over `range`, partial results combined with the associative
+    /// and commutative `merge`.
+    pub fn reduce<T, B, M>(&self, range: Range<usize>, identity: T, body: B, merge: M) -> T
+    where
+        T: Send + Clone,
+        B: Fn(&WorkerCtx<'_>, usize, T) -> T + Sync,
+        M: Fn(T, T) -> T + Sync,
+    {
+        // Tiny ranges (at most one polling block) take a serial fast
+        // path: the loop entry is still a promotion-ready point for
+        // *outer* latent parallelism, but no split of this loop could
+        // ever happen between its only two polls, so none of the
+        // splitting machinery is set up. This keeps "expose maximum
+        // parallelism" habits (e.g. a nested reduce over a 3-element
+        // sparse row) at near-zero cost.
+        if range.len() <= self.shared.poll_stride {
+            self.poll_promote();
+            let mut acc = identity;
+            for i in range {
+                acc = body(self, i, acc);
+            }
+            return acc;
+        }
+        struct Ctl<T, B, M> {
+            pending: CountLatch,
+            partials: Mutex<Vec<T>>,
+            identity: T,
+            body: B2<B>,
+            merge: B2<M>,
+        }
+        /// A Sync-asserting shared reference wrapper.
+        struct B2<X>(*const X);
+        unsafe impl<X: Sync> Send for B2<X> {}
+        unsafe impl<X: Sync> Sync for B2<X> {}
+
+        struct Chunk<T, B, M> {
+            ctl: *const Ctl<T, B, M>,
+            lo: usize,
+            hi: usize,
+        }
+
+        fn run_chunk<T, B, M>(
+            ctx: &WorkerCtx<'_>,
+            ctl: &Ctl<T, B, M>,
+            mut lo: usize,
+            mut hi: usize,
+        ) -> T
+        where
+            T: Send + Clone,
+            B: Fn(&WorkerCtx<'_>, usize, T) -> T + Sync,
+            M: Fn(T, T) -> T + Sync,
+        {
+            unsafe fn exec_chunk<T, B, M>(data: *mut (), ctx: &WorkerCtx<'_>)
+            where
+                T: Send + Clone,
+                B: Fn(&WorkerCtx<'_>, usize, T) -> T + Sync,
+                M: Fn(T, T) -> T + Sync,
+            {
+                // SAFETY: the initiating reduce waits on `pending`, so
+                // the Ctl outlives every chunk.
+                let chunk = unsafe { Box::from_raw(data as *mut Chunk<T, B, M>) };
+                let ctl = unsafe { &*chunk.ctl };
+                let t = run_chunk(ctx, ctl, chunk.lo, chunk.hi);
+                ctl.partials.lock().push(t);
+                ctl.pending.done();
+            }
+
+            let body = unsafe { &*ctl.body.0 };
+            let mut acc = ctl.identity.clone();
+            while lo < hi {
+                // Promotion-ready points sit between short iteration
+                // blocks rather than between single iterations: the
+                // blocks stay tight loops the compiler can vectorise,
+                // keeping the polling substitution for rollforward within
+                // the paper's §6 budget. The stride is far below any
+                // sensible ♥.
+                let stride = ctx.shared.poll_stride;
+                if ctx.heartbeat_due() {
+                    let c = &ctx.shared.counters;
+                    c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
+                    if ctx.shared.suppress_promotions {
+                        // "Interrupts only": measure the mechanism, not
+                        // the promotions.
+                    } else if ctx.promote_oldest_latent() {
+                        // Outermost-first: a latent fork took the beat.
+                        c.promotions.fetch_add(1, Ordering::Relaxed);
+                        c.tasks_created.fetch_add(1, Ordering::Relaxed);
+                    } else if hi - lo >= 2 {
+                        // Split the remaining range in half (Figure 2).
+                        let mid = lo + (hi - lo) / 2;
+                        ctl.pending.add(1);
+                        let chunk = Box::new(Chunk { ctl, lo: mid, hi });
+                        // SAFETY: ctl outlives the chunk (see exec_chunk).
+                        let job = unsafe {
+                            Job::new(Box::into_raw(chunk) as *mut (), exec_chunk::<T, B, M>)
+                        };
+                        ctx.push_job(job);
+                        c.promotions.fetch_add(1, Ordering::Relaxed);
+                        c.tasks_created.fetch_add(1, Ordering::Relaxed);
+                        hi = mid;
+                    }
+                }
+                let stop = hi.min(lo + stride);
+                while lo < stop {
+                    acc = body(ctx, lo, acc);
+                    lo += 1;
+                }
+            }
+            acc
+        }
+
+        let ctl: Ctl<T, B, M> = Ctl {
+            pending: CountLatch::new(),
+            partials: Mutex::new(Vec::new()),
+            identity,
+            body: B2(&body),
+            merge: B2(&merge),
+        };
+        let acc = run_chunk(self, &ctl, range.start, range.end);
+        self.help_until(|| ctl.pending.is_clear());
+        let merge = unsafe { &*ctl.merge.0 };
+        let mut result = acc;
+        for p in ctl.partials.into_inner() {
+            result = merge(result, p);
+        }
+        result
+    }
+
+    /// A latent parallel loop without a reduction. The body may freely
+    /// write to disjoint shared state (e.g. distinct array elements).
+    pub fn parallel_for<B>(&self, range: Range<usize>, body: B)
+    where
+        B: Fn(&WorkerCtx<'_>, usize) + Sync,
+    {
+        self.reduce(range, (), |ctx, i, ()| body(ctx, i), |(), ()| ());
+    }
+
+    /// *Eager* binary fork-join: `b` is forked as a task immediately
+    /// (paying task-creation cost on every call), `a` runs inline, and
+    /// the caller helps the pool until `b` completes.
+    ///
+    /// This is Cilk's execution model — *initial decomposition* — and
+    /// exists as the baseline the paper compares heartbeat scheduling
+    /// against; the `tpal-cilk` crate builds its API on it. Heartbeat
+    /// code should use [`WorkerCtx::join2`] instead.
+    pub fn spawn2<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce(&WorkerCtx<'_>) -> RA,
+        B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+        RB: Send,
+    {
+        struct Entry<B, RB> {
+            state: LatentState,
+            b: UnsafeCell<Option<B>>,
+            result: UnsafeCell<Option<RB>>,
+        }
+
+        unsafe fn exec_entry<B, RB>(data: *mut (), ctx: &WorkerCtx<'_>)
+        where
+            B: FnOnce(&WorkerCtx<'_>) -> RB + Send,
+            RB: Send,
+        {
+            // SAFETY: the owning spawn2 frame helps until DONE; the
+            // entry was handed over wholesale at the push.
+            let e = unsafe { &*(data as *const Entry<B, RB>) };
+            let b = unsafe { (*e.b.get()).take().expect("spawned body taken once") };
+            let rb = b(ctx);
+            unsafe { *e.result.get() = Some(rb) };
+            e.state.set_done();
+        }
+
+        let entry: Entry<B, RB> = Entry {
+            state: LatentState::new(),
+            b: UnsafeCell::new(Some(b)),
+            result: UnsafeCell::new(None),
+        };
+        entry.state.claim(latent_state::PROMOTED);
+        self.shared
+            .counters
+            .tasks_created
+            .fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the entry outlives the job (help_until below).
+        let job = unsafe {
+            Job::new(
+                &entry as *const Entry<B, RB> as *mut (),
+                exec_entry::<B, RB>,
+            )
+        };
+        self.push_job(job);
+
+        let ra = a(self);
+        self.help_until(|| entry.state.get() == latent_state::DONE);
+        // SAFETY: DONE (acquire) publishes the result.
+        let rb = unsafe { (*entry.result.get()).take().expect("result published") };
+        (ra, rb)
+    }
+
+    /// The number of workers in the pool (Cilk's `P` for its `8P` loop
+    /// grain heuristic).
+    pub fn pool_size(&self) -> usize {
+        self.shared.workers.len()
+    }
+}

@@ -1,0 +1,410 @@
+//! The worker pool: threads, deques, stealing, and the heartbeat plumbing.
+//!
+//! The pool itself is policy-free — it runs type-erased jobs from per-worker
+//! Chase–Lev deques with randomized stealing and a global injector for
+//! external submissions. The heartbeat/promotion logic lives in
+//! `parallel.rs`; the eager Cilk baseline (`tpal-cilk`) reuses this pool
+//! with the heartbeat source disabled.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use tpal_deque::{deque, Steal, Stealer, Worker};
+
+use crate::heartbeat::{calibrate_ticks_per_us, HeartbeatCell, HeartbeatSource};
+use crate::job::Job;
+use crate::stats::{Counters, RtStats};
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// The heartbeat interval ♥.
+    pub heartbeat: Duration,
+    /// The heartbeat delivery mechanism.
+    pub source: HeartbeatSource,
+    /// When `true`, heartbeats are delivered and serviced but never
+    /// promote — the "Serial, interrupts only" configuration of the
+    /// paper's Figures 9 and 13, which isolates the cost of the
+    /// interrupt mechanism itself.
+    pub suppress_promotions: bool,
+    /// Iterations per polling block of latent loops: promotion-ready
+    /// points sit between blocks of this many iterations. Small strides
+    /// poll (and can promote) at finer granularity but inhibit loop
+    /// optimisation — the §6 software-polling trade-off, measured by the
+    /// `ablation_polling_stride` bench.
+    pub poll_stride: usize,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            heartbeat: Duration::from_micros(100),
+            source: HeartbeatSource::LocalTimer,
+            suppress_promotions: false,
+            poll_stride: 32,
+        }
+    }
+}
+
+impl RtConfig {
+    /// Sets the worker count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the heartbeat interval ♥.
+    pub fn heartbeat(mut self, d: Duration) -> Self {
+        self.heartbeat = d;
+        self
+    }
+
+    /// Sets the heartbeat source.
+    pub fn source(mut self, s: HeartbeatSource) -> Self {
+        self.source = s;
+        self
+    }
+
+    /// Delivers and services heartbeats without promoting (the paper's
+    /// "interrupts only" overhead configuration).
+    pub fn suppress_promotions(mut self, yes: bool) -> Self {
+        self.suppress_promotions = yes;
+        self
+    }
+
+    /// Sets the loop polling stride (see [`RtConfig::poll_stride`]).
+    pub fn poll_stride(mut self, n: usize) -> Self {
+        self.poll_stride = n.max(1);
+        self
+    }
+}
+
+pub(crate) struct WorkerShared {
+    pub stealer: Stealer<Job>,
+    pub hb: HeartbeatCell,
+}
+
+pub(crate) struct Shared {
+    pub workers: Vec<WorkerShared>,
+    pub injector: Mutex<VecDeque<Job>>,
+    pub sleep_lock: Mutex<usize>,
+    pub sleep_cv: Condvar,
+    pub shutdown: AtomicBool,
+    pub counters: Counters,
+    pub source: HeartbeatSource,
+    pub interval_ticks: u64,
+    pub suppress_promotions: bool,
+    pub poll_stride: usize,
+    pub rng_salt: AtomicU64,
+}
+
+impl Shared {
+    /// Wakes sleeping workers after publishing work.
+    pub(crate) fn notify(&self) {
+        if *self.sleep_lock.lock() > 0 {
+            self.sleep_cv.notify_all();
+        }
+    }
+}
+
+thread_local! {
+    /// The deque owner handle of the current worker thread (set once at
+    /// worker start; `None` on external threads).
+    static LOCAL_DEQUE: RefCell<Option<Worker<Job>>> = const { RefCell::new(None) };
+}
+
+/// A latent-parallelism mark (the promotion-ready mark list of Appendix
+/// B.2): enough type-erased state to reify the entry as a task.
+#[derive(Clone, Copy)]
+pub(crate) struct LatentSlot {
+    pub state: *const crate::job::LatentState,
+    pub data: *const (),
+    pub make_job: unsafe fn(*const ()) -> Job,
+}
+
+/// The per-worker execution context handed to all parallel constructs.
+///
+/// A `WorkerCtx` identifies the worker a computation is currently running
+/// on; it is `!Send` by construction (obtained only inside
+/// [`Runtime::run`] closures and task bodies).
+pub struct WorkerCtx<'a> {
+    pub(crate) shared: &'a Shared,
+    pub(crate) id: usize,
+    /// The promotion-ready mark list: oldest first.
+    pub(crate) latent: RefCell<Vec<LatentSlot>>,
+    /// Local-timer poll subsampling: remaining polls to skip before the
+    /// next timestamp read (keeps the per-iteration cost to a counter
+    /// decrement; granularity stays far below ♥).
+    pub(crate) poll_skip: std::cell::Cell<u32>,
+    _not_send: std::marker::PhantomData<*mut ()>,
+}
+
+impl<'a> WorkerCtx<'a> {
+    fn new(shared: &'a Shared, id: usize) -> Self {
+        WorkerCtx {
+            shared,
+            id,
+            latent: RefCell::new(Vec::new()),
+            poll_skip: std::cell::Cell::new(0),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// The worker's index.
+    pub fn worker_id(&self) -> usize {
+        self.id
+    }
+
+    /// Pushes a job on this worker's deque and wakes a thief.
+    pub(crate) fn push_job(&self, job: Job) {
+        LOCAL_DEQUE.with(|d| {
+            d.borrow()
+                .as_ref()
+                .expect("push_job outside a worker thread")
+                .push(job)
+        });
+        self.shared.notify();
+    }
+
+    /// Pops from the local deque, the injector, or a random victim.
+    pub(crate) fn find_job(&self) -> Option<Job> {
+        if let Some(job) = LOCAL_DEQUE.with(|d| d.borrow().as_ref().and_then(|w| w.pop())) {
+            return Some(job);
+        }
+        if let Some(job) = self.shared.injector.lock().pop_front() {
+            return Some(job);
+        }
+        let n = self.shared.workers.len();
+        if n > 1 {
+            let salt = self.shared.rng_salt.fetch_add(1, Ordering::Relaxed);
+            for k in 0..n {
+                let v = (self.id + 1 + (salt as usize + k) % (n - 1)) % n;
+                if v == self.id {
+                    continue;
+                }
+                loop {
+                    match self.shared.workers[v].stealer.steal() {
+                        Steal::Success(job) => {
+                            self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+                            return Some(job);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs queued work until `done` holds (a helping join: never
+    /// blocks the worker).
+    pub(crate) fn help_until(&self, done: impl Fn() -> bool) {
+        while !done() {
+            match self.find_job() {
+                Some(job) => job.run(self),
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// The TPAL heartbeat runtime: a worker pool plus a heartbeat source.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    ping: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Creates the runtime, spawning its workers (and the ping thread,
+    /// under [`HeartbeatSource::PingThread`]).
+    pub fn new(config: RtConfig) -> Runtime {
+        let ticks_per_us = calibrate_ticks_per_us();
+        let interval_ticks = (config.heartbeat.as_nanos() as u64).max(1) * ticks_per_us / 1_000;
+        let mut owners = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..config.workers {
+            let (w, s) = deque::<Job>();
+            owners.push(w);
+            workers.push(WorkerShared {
+                stealer: s,
+                hb: HeartbeatCell::new(),
+            });
+        }
+        let shared = Arc::new(Shared {
+            workers,
+            injector: Mutex::new(VecDeque::new()),
+            sleep_lock: Mutex::new(0),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            source: config.source,
+            interval_ticks: interval_ticks.max(1),
+            suppress_promotions: config.suppress_promotions,
+            poll_stride: config.poll_stride.max(1),
+            rng_salt: AtomicU64::new(0x9E3779B9),
+        });
+
+        let mut handles = Vec::new();
+        for (id, owner) in owners.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tpal-worker-{id}"))
+                    .spawn(move || worker_main(shared, id, owner))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let ping = match config.source {
+            HeartbeatSource::PingThread => {
+                let shared = Arc::clone(&shared);
+                let interval = config.heartbeat;
+                Some(
+                    std::thread::Builder::new()
+                        .name("tpal-ping".to_owned())
+                        .spawn(move || ping_main(shared, interval))
+                        .expect("spawn ping thread"),
+                )
+            }
+            _ => None,
+        };
+
+        Runtime {
+            shared,
+            handles,
+            ping,
+        }
+    }
+
+    /// Runs `f` on a worker and returns its result, blocking the calling
+    /// thread until completion.
+    pub fn run<F, T>(&self, f: F) -> T
+    where
+        F: FnOnce(&WorkerCtx<'_>) -> T + Send,
+        T: Send,
+    {
+        struct Root<F, T> {
+            f: Option<F>,
+            result: Mutex<Option<T>>,
+            cv: Condvar,
+        }
+        let root = Root {
+            f: Some(f),
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        };
+
+        unsafe fn exec<F, T>(data: *mut (), ctx: &WorkerCtx<'_>)
+        where
+            F: FnOnce(&WorkerCtx<'_>) -> T + Send,
+            T: Send,
+        {
+            // SAFETY: `run` keeps `root` alive until the condvar fires.
+            let root = unsafe { &*(data as *const Root<F, T>) };
+            // SAFETY: the job runs exactly once; `f` is present.
+            let f = unsafe {
+                (*(data as *mut Root<F, T>))
+                    .f
+                    .take()
+                    .expect("root job ran twice")
+            };
+            let t = f(ctx);
+            *root.result.lock() = Some(t);
+            root.cv.notify_all();
+        }
+
+        // SAFETY: `root` outlives the job (we block below until the
+        // result is published).
+        let job = unsafe { Job::new(&root as *const Root<F, T> as *mut (), exec::<F, T>) };
+        self.shared.injector.lock().push_back(job);
+        self.shared.notify();
+
+        let mut guard = root.result.lock();
+        while guard.is_none() {
+            root.cv.wait(&mut guard);
+        }
+        guard.take().expect("result published")
+    }
+
+    /// A snapshot of the runtime's instrumentation counters.
+    pub fn stats(&self) -> RtStats {
+        let delivered: u64 = self
+            .shared
+            .workers
+            .iter()
+            .map(|w| w.hb.delivered.load(Ordering::Relaxed))
+            .sum();
+        self.shared.counters.snapshot(delivered)
+    }
+
+    /// Resets the instrumentation counters (between benchmark trials).
+    pub fn reset_stats(&self) {
+        self.shared.counters.reset();
+        for w in &self.shared.workers {
+            w.hb.delivered.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.shared.workers.len()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.sleep_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(p) = self.ping.take() {
+            let _ = p.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, id: usize, owner: Worker<Job>) {
+    LOCAL_DEQUE.with(|d| *d.borrow_mut() = Some(owner));
+    let ctx = WorkerCtx::new(&shared, id);
+    shared.workers[id].hb.arm(shared.interval_ticks);
+
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match ctx.find_job() {
+            Some(job) => job.run(&ctx),
+            None => {
+                // Brief sleep; woken by pushes.
+                let mut sleepers = shared.sleep_lock.lock();
+                *sleepers += 1;
+                shared
+                    .sleep_cv
+                    .wait_for(&mut sleepers, Duration::from_micros(200));
+                *sleepers -= 1;
+            }
+        }
+    }
+    LOCAL_DEQUE.with(|d| *d.borrow_mut() = None);
+}
+
+fn ping_main(shared: Arc<Shared>, interval: Duration) {
+    // The Linux INT-PingThread mechanism: wake every ♥ and deliver a
+    // signal to each worker in turn (linear delivery; jitter comes from
+    // sleep granularity, exactly the effect §4.4 measures).
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        for w in &shared.workers {
+            w.hb.raise();
+        }
+    }
+}

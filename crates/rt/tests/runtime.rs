@@ -1,0 +1,188 @@
+//! Integration tests of the native heartbeat runtime: correctness under
+//! every heartbeat source, promotion accounting, and the serial-by-default
+//! guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use tpal_rt::{HeartbeatSource, RtConfig, Runtime};
+
+fn rt(workers: usize, source: HeartbeatSource, us: u64) -> Runtime {
+    Runtime::new(
+        RtConfig::default()
+            .workers(workers)
+            .source(source)
+            .heartbeat(Duration::from_micros(us)),
+    )
+}
+
+#[test]
+fn reduce_sums_correctly_all_sources() {
+    for source in [
+        HeartbeatSource::Disabled,
+        HeartbeatSource::LocalTimer,
+        HeartbeatSource::PingThread,
+    ] {
+        let rt = rt(2, source, 50);
+        let n = 2_000_000usize;
+        let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, acc| acc + i as u64, |a, b| a + b));
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2, "{source:?}");
+    }
+}
+
+#[test]
+fn disabled_source_never_promotes() {
+    let rt = rt(2, HeartbeatSource::Disabled, 50);
+    let total = rt.run(|ctx| ctx.reduce(0..500_000, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, 499_999u64 * 500_000 / 2);
+    let stats = rt.stats();
+    assert_eq!(stats.tasks_created, 0);
+    assert_eq!(stats.promotions, 0);
+}
+
+#[test]
+fn local_timer_promotes_long_loops() {
+    let rt = rt(2, HeartbeatSource::LocalTimer, 100);
+    let n = 4_000_000usize;
+    let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    let stats = rt.stats();
+    assert!(
+        stats.tasks_created > 0,
+        "a multi-ms loop at ♥=100µs must promote: {stats:?}"
+    );
+    // Amortisation: at most one task per serviced heartbeat.
+    assert!(stats.tasks_created <= stats.heartbeats_serviced.max(1));
+}
+
+#[test]
+fn parallel_for_writes_all_slots() {
+    let rt = rt(3, HeartbeatSource::LocalTimer, 80);
+    let n = 300_000usize;
+    let out: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    rt.run(|ctx| {
+        ctx.parallel_for(0..n, |_, i| {
+            out[i].fetch_add(i + 1, Ordering::Relaxed);
+        })
+    });
+    for (i, c) in out.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), i + 1, "slot {i}");
+    }
+}
+
+fn fib(ctx: &tpal_rt::WorkerCtx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = ctx.join2(|ctx| fib(ctx, n - 1), |ctx| fib(ctx, n - 2));
+    a + b
+}
+
+#[test]
+fn join2_fib_all_sources() {
+    for source in [
+        HeartbeatSource::Disabled,
+        HeartbeatSource::LocalTimer,
+        HeartbeatSource::PingThread,
+    ] {
+        let rt = rt(2, source, 60);
+        let f = rt.run(|ctx| fib(ctx, 27));
+        assert_eq!(f, 196_418, "{source:?}");
+    }
+}
+
+#[test]
+fn join2_serial_by_default() {
+    // With heartbeats disabled, join2 must create zero tasks — the
+    // "near zero-cost abstraction" property.
+    let rt = rt(2, HeartbeatSource::Disabled, 60);
+    let f = rt.run(|ctx| fib(ctx, 24));
+    assert_eq!(f, 46_368);
+    assert_eq!(rt.stats().tasks_created, 0);
+}
+
+#[test]
+fn join2_promotes_under_heartbeat() {
+    let rt = rt(2, HeartbeatSource::LocalTimer, 60);
+    let f = rt.run(|ctx| fib(ctx, 29));
+    assert_eq!(f, 514_229);
+    let stats = rt.stats();
+    assert!(stats.tasks_created > 0, "{stats:?}");
+    assert!(stats.promotions == stats.tasks_created);
+}
+
+#[test]
+fn nested_loops_and_forks_compose() {
+    // join2 over two reduces, nested under another join2.
+    let rt = rt(2, HeartbeatSource::LocalTimer, 60);
+    let n = 200_000usize;
+    let result = rt.run(|ctx| {
+        let ((a, b), c) = ctx.join2(
+            |ctx| {
+                ctx.join2(
+                    |ctx| ctx.reduce(0..n, 0u64, |_, i, s| s + i as u64, |a, b| a + b),
+                    |ctx| ctx.reduce(0..n, 0u64, |_, i, s| s + 2 * i as u64, |a, b| a + b),
+                )
+            },
+            |ctx| ctx.reduce(0..n, 0u64, |_, i, s| s + 3 * i as u64, |a, b| a + b),
+        );
+        a + b + c
+    });
+    let base = (n as u64 - 1) * n as u64 / 2;
+    assert_eq!(result, base * 6);
+}
+
+#[test]
+fn run_returns_values_and_can_rerun() {
+    let rt = rt(2, HeartbeatSource::LocalTimer, 100);
+    let a = rt.run(|_| 41);
+    let b = rt.run(|_| a + 1);
+    assert_eq!(b, 42);
+}
+
+#[test]
+fn ping_thread_delivers_heartbeats() {
+    let rt = rt(2, HeartbeatSource::PingThread, 100);
+    // Busy work long enough (milliseconds) to see several beats.
+    let x = rt.run(|ctx| {
+        ctx.reduce(
+            0..30_000_000usize,
+            0u64,
+            |_, i, a| a ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            |a, b| a ^ b,
+        )
+    });
+    std::hint::black_box(x);
+    let stats = rt.stats();
+    assert!(
+        stats.heartbeats_delivered > 0,
+        "ping thread should have delivered: {stats:?}"
+    );
+}
+
+#[test]
+fn stats_reset() {
+    let rt = rt(2, HeartbeatSource::LocalTimer, 50);
+    rt.run(|ctx| {
+        ctx.reduce(
+            0..1_000_000usize,
+            0u64,
+            |_, i, a| a + i as u64,
+            |a, b| a + b,
+        )
+    });
+    rt.reset_stats();
+    let s = rt.stats();
+    assert_eq!(s.tasks_created, 0);
+    assert_eq!(s.heartbeats_delivered, 0);
+}
+
+#[test]
+fn many_workers_oversubscribed() {
+    // More workers than cores (this machine has one): correctness must
+    // not depend on real parallelism.
+    let rt = rt(8, HeartbeatSource::LocalTimer, 50);
+    let n = 1_000_000usize;
+    let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+}

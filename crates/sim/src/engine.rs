@@ -1,0 +1,502 @@
+//! The discrete-event multicore engine.
+
+use tpal_core::isa::Reg;
+use tpal_core::machine::{
+    resolve_join, step_task, JoinResolution, MachineError, PromotionOrder, StepOutcome, Stores,
+    TaskState, Value,
+};
+use tpal_core::program::Program;
+
+use crate::rng::SplitMix64;
+use crate::timeline::{Activity, Timeline};
+
+/// How heartbeat interrupts reach the cores (§3.2 and §5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptModel {
+    /// Per-core timer interrupts (Nautilus: APIC timer + Nemo IPIs).
+    /// Every core's flag is raised exactly every ♥ cycles; servicing
+    /// costs `service_cost` cycles on the interrupted core.
+    PerCoreTimer {
+        /// Cycles charged to the core per delivered interrupt.
+        service_cost: u64,
+    },
+    /// A dedicated ping thread delivering OS signals to the cores one at
+    /// a time (the Linux INT-PingThread mechanism). Each delivery
+    /// occupies the signaller for `latency ± jitter` cycles, so a full
+    /// round over `P` cores takes about `P × latency`; when that exceeds
+    /// ♥ the target heartbeat rate is missed, as in Figure 10.
+    PingThread {
+        /// Signaller cycles per delivered signal.
+        latency: u64,
+        /// Uniform jitter added to each delivery, `[0, jitter]`.
+        jitter: u64,
+        /// Cycles charged to the receiving core per signal (kernel
+        /// signal-frame overhead).
+        service_cost: u64,
+    },
+    /// No heartbeats: latent parallelism is never promoted.
+    Disabled,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of worker cores `P`.
+    pub cores: usize,
+    /// The heartbeat interval ♥, in cycles.
+    pub heartbeat: u64,
+    /// The interrupt mechanism.
+    pub interrupt: InterruptModel,
+    /// Extra cycles charged for executing `fork` (task allocation and
+    /// deque push — the per-task cost τ that heartbeat scheduling
+    /// amortises).
+    pub fork_cost: u64,
+    /// Cycles for a successful steal (task migration).
+    pub steal_cost: u64,
+    /// Cycles an idle core spends on a failed steal attempt.
+    pub steal_retry_cost: u64,
+    /// Cycles charged for join resolution (stash or merge).
+    pub join_cost: u64,
+    /// RNG seed (victim selection, delivery jitter).
+    pub seed: u64,
+    /// Abort after this many executed instructions.
+    pub step_limit: u64,
+    /// Record a per-core activity [`Timeline`] (bucketed at ♥/2 cycles)
+    /// in the outcome. Costs one branch per cycle and O(time/♥) memory.
+    pub record_timeline: bool,
+    /// Which promotion-ready mark `prmsplit` pops: the paper's
+    /// outermost-first policy (§2.3) or its innermost-first ablation.
+    pub promotion_order: PromotionOrder,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 15,
+            heartbeat: 3_000,
+            interrupt: InterruptModel::PerCoreTimer { service_cost: 5 },
+            fork_cost: 100,
+            steal_cost: 600,
+            steal_retry_cost: 50,
+            join_cost: 50,
+            seed: 0xDEC0DE,
+            step_limit: 20_000_000_000,
+            record_timeline: false,
+            promotion_order: PromotionOrder::OldestFirst,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The Linux-like configuration: ping-thread signal delivery.
+    pub fn linux(cores: usize, heartbeat: u64) -> Self {
+        SimConfig {
+            cores,
+            heartbeat,
+            interrupt: InterruptModel::PingThread {
+                latency: 110,
+                jitter: 60,
+                service_cost: 60,
+            },
+            ..SimConfig::default()
+        }
+    }
+
+    /// The Nautilus-like configuration: per-core timer interrupts.
+    pub fn nautilus(cores: usize, heartbeat: u64) -> Self {
+        SimConfig {
+            cores,
+            heartbeat,
+            interrupt: InterruptModel::PerCoreTimer { service_cost: 5 },
+            ..SimConfig::default()
+        }
+    }
+
+    /// Serial execution: one core, no interrupts.
+    pub fn serial() -> Self {
+        SimConfig {
+            cores: 1,
+            interrupt: InterruptModel::Disabled,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Counters collected by a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Instructions executed (each costs one cycle).
+    pub instructions: u64,
+    /// Tasks created (`fork` executions — the paper's Figure 15a).
+    pub forks: u64,
+    /// Heartbeat handler invocations (promotion attempts).
+    pub promotions: u64,
+    /// `join` instructions executed.
+    pub joins: u64,
+    /// Pair merges at join resolution.
+    pub merges: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Failed steal attempts.
+    pub failed_steals: u64,
+    /// Heartbeat interrupts delivered to cores.
+    pub heartbeats_delivered: u64,
+    /// Cycles cores spent executing instructions (useful work).
+    pub work_cycles: u64,
+    /// Cycles lost to fork, steal, join, and interrupt overheads.
+    pub overhead_cycles: u64,
+    /// Cycles cores sat idle with nothing to run.
+    pub idle_cycles: u64,
+    /// High-water mark of runnable tasks (running + queued).
+    pub max_live_tasks: usize,
+}
+
+/// The outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Makespan: simulated cycles from start to `halt`.
+    pub time: u64,
+    /// Counters.
+    pub stats: SimStats,
+    /// Cores simulated.
+    pub cores: usize,
+    /// The heartbeat interval ♥ the run targeted.
+    pub heartbeat: u64,
+    /// Per-core activity timeline, when
+    /// [`SimConfig::record_timeline`] was set.
+    pub timeline: Option<Timeline>,
+    final_regs: Vec<(String, Value)>,
+}
+
+impl SimOutcome {
+    /// Reads an integer register of the halting task.
+    pub fn read_reg(&self, name: &str) -> Option<i64> {
+        self.final_regs.iter().find_map(|(n, v)| {
+            if n == name {
+                match v {
+                    Value::Int(x) => Some(*x),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Utilization: the fraction of core-cycles spent on useful work
+    /// (Figure 15b).
+    pub fn utilization(&self) -> f64 {
+        self.stats.work_cycles as f64 / (self.time.max(1) as f64 * self.cores as f64)
+    }
+
+    /// The heartbeat rate actually achieved, as a fraction of the target
+    /// rate `cores / ♥` (Figure 10).
+    pub fn heartbeat_rate_achieved(&self) -> f64 {
+        let target = (self.time / self.heartbeat.max(1)) * self.cores as u64;
+        if target == 0 {
+            return 1.0;
+        }
+        self.stats.heartbeats_delivered as f64 / target as f64
+    }
+
+    /// The parallelism actually realised: instruction cycles divided by
+    /// makespan (equals the speedup over a 1-core run of the same
+    /// instruction stream).
+    pub fn speedup_base(&self) -> f64 {
+        self.stats.work_cycles as f64 / self.time.max(1) as f64
+    }
+}
+
+struct Core {
+    current: Option<TaskState>,
+    deque: std::collections::VecDeque<TaskState>,
+    busy_until: u64,
+    hb_flag: bool,
+    next_hb: u64,
+}
+
+/// The multicore simulator. Mirrors the [`tpal_core::machine::Machine`]
+/// API: construct, seed inputs, [`Sim::run`].
+pub struct Sim<'p> {
+    program: &'p Program,
+    config: SimConfig,
+    stores: Stores,
+    initial: Option<TaskState>,
+}
+
+impl<'p> Sim<'p> {
+    /// Creates a simulator whose initial task starts at the program's
+    /// entry block on core 0.
+    pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        assert!(config.cores > 0, "at least one core required");
+        let mut stores = Stores::new();
+        stores.stacks.set_promotion_order(config.promotion_order);
+        Sim {
+            program,
+            config,
+            stores,
+            initial: Some(TaskState::new(program, program.entry())),
+        }
+    }
+
+    /// Seeds an integer argument register of the initial task.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownName`] if the program never names `name`.
+    pub fn set_reg(&mut self, name: &str, value: i64) -> Result<(), MachineError> {
+        let reg = self
+            .program
+            .reg(name)
+            .ok_or_else(|| MachineError::UnknownName {
+                name: name.to_owned(),
+            })?;
+        self.initial
+            .as_mut()
+            .expect("simulation already run")
+            .regs
+            .write(reg, Value::Int(value));
+        Ok(())
+    }
+
+    /// Allocates and initialises a heap array before the run.
+    pub fn alloc_array(&mut self, data: &[i64]) -> i64 {
+        self.stores.heap.alloc_init(data)
+    }
+
+    /// Allocates a zeroed heap array before the run.
+    pub fn alloc_zeroed(&mut self, len: usize) -> i64 {
+        self.stores.heap.alloc(len)
+    }
+
+    /// Read access to the heap (e.g. to extract output arrays after the
+    /// run).
+    pub fn heap(&self) -> &tpal_core::machine::Heap {
+        &self.stores.heap
+    }
+
+    /// Runs the simulation to `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] raised by a task, [`MachineError::Deadlock`]
+    /// if all cores go idle with no runnable task before a `halt`, or
+    /// [`MachineError::StepLimitExceeded`].
+    pub fn run(&mut self) -> Result<SimOutcome, MachineError> {
+        let cfg = self.config;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut stats = SimStats::default();
+        let mut cores: Vec<Core> = (0..cfg.cores)
+            .map(|_| Core {
+                current: None,
+                deque: std::collections::VecDeque::new(),
+                busy_until: 0,
+                hb_flag: false,
+                next_hb: cfg.heartbeat,
+            })
+            .collect();
+        cores[0].current = Some(self.initial.take().expect("simulation already run"));
+
+        // Ping-thread signaller state.
+        let mut ping_next_core: usize = 0;
+        let mut ping_next_time: u64 = cfg.heartbeat;
+        let mut ping_round_start: u64 = cfg.heartbeat;
+
+        let mut now: u64 = 0;
+        #[allow(unused_assignments)]
+        let mut halted: Option<TaskState> = None;
+        let mut live_tasks: usize = 1;
+        let mut timeline = if cfg.record_timeline {
+            Some(Timeline::new(cfg.cores, (cfg.heartbeat / 2).max(64)))
+        } else {
+            None
+        };
+        macro_rules! trace {
+            ($core:expr, $kind:expr, $cycles:expr) => {
+                if let Some(tl) = &mut timeline {
+                    tl.record($core, now, $kind, $cycles);
+                }
+            };
+        }
+
+        'sim: loop {
+            now += 1;
+
+            // Interrupt delivery.
+            match cfg.interrupt {
+                InterruptModel::PerCoreTimer { service_cost } => {
+                    for (ci, core) in cores.iter_mut().enumerate() {
+                        if now >= core.next_hb {
+                            core.hb_flag = true;
+                            core.next_hb += cfg.heartbeat;
+                            core.busy_until = core.busy_until.max(now) + service_cost;
+                            stats.heartbeats_delivered += 1;
+                            stats.overhead_cycles += service_cost;
+                            trace!(ci, Activity::Overhead, service_cost);
+                        }
+                    }
+                }
+                InterruptModel::PingThread {
+                    latency,
+                    jitter,
+                    service_cost,
+                } => {
+                    if now >= ping_next_time {
+                        let core = &mut cores[ping_next_core];
+                        core.hb_flag = true;
+                        core.busy_until = core.busy_until.max(now) + service_cost;
+                        stats.heartbeats_delivered += 1;
+                        stats.overhead_cycles += service_cost;
+                        trace!(ping_next_core, Activity::Overhead, service_cost);
+                        let delay = latency + if jitter > 0 { rng.below(jitter + 1) } else { 0 };
+                        ping_next_core += 1;
+                        if ping_next_core == cfg.cores {
+                            // Round complete: rest until the next beat.
+                            ping_next_core = 0;
+                            ping_round_start += cfg.heartbeat;
+                            ping_next_time = (now + delay).max(ping_round_start);
+                        } else {
+                            ping_next_time = now + delay;
+                        }
+                    }
+                }
+                InterruptModel::Disabled => {}
+            }
+
+            let mut all_idle = true;
+            for c in 0..cfg.cores {
+                if cores[c].busy_until > now {
+                    all_idle = false;
+                    continue;
+                }
+                // Acquire work if idle.
+                if cores[c].current.is_none() {
+                    if let Some(t) = cores[c].deque.pop_back() {
+                        cores[c].current = Some(t);
+                    } else if cfg.cores > 1 {
+                        // Randomized steal from another core's top.
+                        let victim = (c + 1 + rng.below(cfg.cores as u64 - 1) as usize) % cfg.cores;
+                        let stolen = cores[victim].deque.pop_front();
+                        match stolen {
+                            Some(t) => {
+                                cores[c].current = Some(t);
+                                cores[c].busy_until = now + cfg.steal_cost;
+                                stats.steals += 1;
+                                stats.overhead_cycles += cfg.steal_cost;
+                                trace!(c, Activity::Overhead, cfg.steal_cost);
+                                all_idle = false;
+                                continue;
+                            }
+                            None => {
+                                cores[c].busy_until = now + cfg.steal_retry_cost;
+                                stats.failed_steals += 1;
+                                stats.idle_cycles += cfg.steal_retry_cost;
+                                trace!(c, Activity::Idle, cfg.steal_retry_cost);
+                                continue;
+                            }
+                        }
+                    } else {
+                        stats.idle_cycles += 1;
+                        trace!(c, Activity::Idle, 1);
+                        continue;
+                    }
+                }
+                all_idle = false;
+
+                let mut task = cores[c].current.take().expect("task present");
+
+                // Pending heartbeat: serviced at the next promotion-ready
+                // program point (rollforward semantics).
+                if cores[c].hb_flag {
+                    if let Some(handler) = task.at_promotion_point(self.program) {
+                        task.divert_to_handler(handler);
+                        cores[c].hb_flag = false;
+                        stats.promotions += 1;
+                    }
+                }
+
+                match step_task(self.program, &mut task, &mut self.stores)? {
+                    StepOutcome::Ran => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        cores[c].busy_until = now + 1;
+                        cores[c].current = Some(task);
+                    }
+                    StepOutcome::Halted => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        halted = Some(task);
+                        break 'sim;
+                    }
+                    StepOutcome::Forked { child } => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        trace!(c, Activity::Overhead, cfg.fork_cost);
+                        stats.forks += 1;
+                        cores[c].deque.push_back(*child);
+                        cores[c].busy_until = now + 1 + cfg.fork_cost;
+                        stats.overhead_cycles += cfg.fork_cost;
+                        cores[c].current = Some(task);
+                        live_tasks += 1;
+                        stats.max_live_tasks = stats.max_live_tasks.max(live_tasks);
+                    }
+                    StepOutcome::Joined { jr } => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        trace!(c, Activity::Overhead, cfg.join_cost);
+                        stats.joins += 1;
+                        cores[c].busy_until = now + 1 + cfg.join_cost;
+                        stats.overhead_cycles += cfg.join_cost;
+                        match resolve_join(self.program, task, jr, &mut self.stores, 0)? {
+                            JoinResolution::TaskDied => {
+                                live_tasks -= 1;
+                            }
+                            JoinResolution::Merged(t) => {
+                                stats.merges += 1;
+                                cores[c].current = Some(*t);
+                            }
+                            JoinResolution::Completed(t) => {
+                                cores[c].current = Some(*t);
+                            }
+                        }
+                    }
+                }
+                if stats.instructions > cfg.step_limit {
+                    return Err(MachineError::StepLimitExceeded {
+                        limit: cfg.step_limit,
+                    });
+                }
+            }
+
+            if all_idle
+                && cores
+                    .iter()
+                    .all(|c| c.current.is_none() && c.deque.is_empty())
+                && cores.iter().all(|c| c.busy_until <= now)
+            {
+                return Err(MachineError::Deadlock);
+            }
+        }
+
+        let halted = halted.expect("loop exits via halt");
+        let final_regs = (0..self.program.reg_count())
+            .map(|i| {
+                let r = Reg::from_index(i);
+                (self.program.reg_name(r).to_owned(), halted.regs.read_raw(r))
+            })
+            .collect();
+
+        Ok(SimOutcome {
+            time: now,
+            stats,
+            cores: cfg.cores,
+            heartbeat: cfg.heartbeat,
+            timeline,
+            final_regs,
+        })
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-core activity timelines.
+//!
+//! When [`SimConfig::record_timeline`](crate::SimConfig) is set, the
+//! engine buckets each core's cycles into *work* (instruction execution),
+//! *overhead* (fork, steal, join, interrupt servicing), and *idle*, and
+//! the outcome carries a [`Timeline`] that renders as a text Gantt
+//! chart — the visual counterpart of Figure 12's "steady versus
+//! unsteady" promotion picture, and the quickest way to see ramp-up,
+//! starvation, or a flooded scheduler at a glance.
+
+/// Cycle classification within one bucket of one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bucket {
+    /// Cycles spent executing instructions.
+    pub work: u64,
+    /// Cycles charged to fork/steal/join/interrupt costs.
+    pub overhead: u64,
+    /// Idle cycles (nothing to run, failed steals).
+    pub idle: u64,
+}
+
+impl Bucket {
+    fn total(&self) -> u64 {
+        self.work + self.overhead + self.idle
+    }
+}
+
+/// A per-core, bucketed activity record of one simulation.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    bucket_cycles: u64,
+    per_core: Vec<Vec<Bucket>>,
+}
+
+impl Timeline {
+    pub(crate) fn new(cores: usize, bucket_cycles: u64) -> Timeline {
+        Timeline {
+            bucket_cycles: bucket_cycles.max(1),
+            per_core: vec![Vec::new(); cores],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, core: usize, time: u64, kind: Activity, cycles: u64) {
+        let idx = (time / self.bucket_cycles) as usize;
+        let row = &mut self.per_core[core];
+        if row.len() <= idx {
+            row.resize(idx + 1, Bucket::default());
+        }
+        let b = &mut row[idx];
+        match kind {
+            Activity::Work => b.work += cycles,
+            Activity::Overhead => b.overhead += cycles,
+            Activity::Idle => b.idle += cycles,
+        }
+    }
+
+    /// The bucket size in cycles.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// The recorded buckets of one core.
+    pub fn core(&self, core: usize) -> &[Bucket] {
+        &self.per_core[core]
+    }
+
+    /// Number of cores recorded.
+    pub fn cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Renders a text Gantt chart, one row per core, `width` columns
+    /// spanning the whole run:
+    ///
+    /// * `#` — the column is ≥ 75% useful work,
+    /// * `+` — ≥ 25% work,
+    /// * `o` — mostly overhead (fork/steal/join/interrupts),
+    /// * `.` — mostly idle,
+    /// * ` ` — nothing recorded.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(1);
+        let buckets = self.per_core.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (c, row) in self.per_core.iter().enumerate() {
+            out.push_str(&format!("core {c:>2} |"));
+            for col in 0..width {
+                // Merge the buckets covered by this column.
+                let lo = col * buckets / width;
+                let hi = (((col + 1) * buckets).div_ceil(width)).min(buckets);
+                let mut merged = Bucket::default();
+                for b in row.get(lo..hi).unwrap_or(&[]) {
+                    merged.work += b.work;
+                    merged.overhead += b.overhead;
+                    merged.idle += b.idle;
+                }
+                let total = merged.total();
+                let ch = if total == 0 {
+                    ' '
+                } else if merged.work * 4 >= total * 3 {
+                    '#'
+                } else if merged.work * 4 >= total {
+                    '+'
+                } else if merged.overhead >= merged.idle {
+                    'o'
+                } else {
+                    '.'
+                };
+                out.push(ch);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Work fraction per column (for plotting or assertions), averaged
+    /// over cores.
+    pub fn utilization_series(&self, width: usize) -> Vec<f64> {
+        let width = width.max(1);
+        let buckets = self.per_core.iter().map(Vec::len).max().unwrap_or(0);
+        (0..width)
+            .map(|col| {
+                let lo = col * buckets / width;
+                let hi = (((col + 1) * buckets).div_ceil(width)).min(buckets);
+                let mut work = 0u64;
+                let mut total = 0u64;
+                for row in &self.per_core {
+                    for b in row.get(lo..hi).unwrap_or(&[]) {
+                        work += b.work;
+                        total += b.total();
+                    }
+                }
+                if total == 0 {
+                    0.0
+                } else {
+                    work as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// What a core spent cycles on (engine-internal classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Executing instructions.
+    Work,
+    /// Fork/steal/join/interrupt charges.
+    Overhead,
+    /// Nothing to do.
+    Idle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut t = Timeline::new(2, 100);
+        t.record(0, 0, Activity::Work, 80);
+        t.record(0, 50, Activity::Idle, 20);
+        t.record(1, 150, Activity::Overhead, 10);
+        assert_eq!(t.core(0)[0].work, 80);
+        assert_eq!(t.core(0)[0].idle, 20);
+        assert_eq!(t.core(1)[1].overhead, 10);
+    }
+
+    #[test]
+    fn render_shapes() {
+        let mut t = Timeline::new(1, 10);
+        for i in 0..10 {
+            t.record(0, i * 10, Activity::Work, 10);
+        }
+        for i in 10..20 {
+            t.record(0, i * 10, Activity::Idle, 10);
+        }
+        let s = t.render(20);
+        assert!(s.starts_with("core  0 |"));
+        let body: String = s.chars().filter(|c| "#+o. ".contains(*c)).collect();
+        assert!(body.contains('#'), "{s}");
+        assert!(body.contains('.'), "{s}");
+    }
+
+    #[test]
+    fn utilization_series_bounds() {
+        let mut t = Timeline::new(2, 10);
+        t.record(0, 0, Activity::Work, 10);
+        t.record(1, 0, Activity::Idle, 10);
+        let u = t.utilization_series(4);
+        assert_eq!(u.len(), 4);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+    }
+}

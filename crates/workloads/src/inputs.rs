@@ -1,0 +1,265 @@
+//! Input generators: sparse matrices in CSR form (random, power-law,
+//! arrowhead — §4.1), integer sequences from uniform and exponential
+//! distributions, and points for kmeans.
+//!
+//! Everything is generated from fixed seeds so that all four builds of a
+//! workload see identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sparse matrix in compressed-sparse-row (CSR) form with integer
+/// values (exact arithmetic keeps checksums schedule-independent).
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row start offsets (`rows + 1` entries).
+    pub row_ptr: Vec<i64>,
+    /// Column index per non-zero.
+    pub col_idx: Vec<i64>,
+    /// Value per non-zero.
+    pub vals: Vec<i64>,
+}
+
+impl CsrMatrix {
+    /// Total non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = A·x` computed serially (the reference result).
+    pub fn spmv_serial(&self, x: &[i64]) -> Vec<i64> {
+        let mut y = vec![0i64; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut s = 0i64;
+            for k in lo..hi {
+                s = s.wrapping_add(self.vals[k].wrapping_mul(x[self.col_idx[k] as usize]));
+            }
+            *out = s;
+        }
+        y
+    }
+}
+
+fn small_val(rng: &mut StdRng) -> i64 {
+    rng.gen_range(-4i64..=4)
+}
+
+/// A uniformly random sparse matrix: every row gets `1..=2·avg-1`
+/// non-zeros at uniformly random columns ("random", §4.1).
+pub fn random_matrix(rows: usize, cols: usize, avg_nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..rows {
+        let k = rng.gen_range(1..=2 * avg_nnz_per_row.max(1) - 1);
+        for _ in 0..k {
+            col_idx.push(rng.gen_range(0..cols) as i64);
+            vals.push(small_val(&mut rng));
+        }
+        row_ptr.push(col_idx.len() as i64);
+    }
+    CsrMatrix {
+        rows,
+        cols,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+/// A power-law matrix: row `i` receives about `c / (i+1)^α` non-zeros,
+/// so a handful of early rows hold a large share of the work — the
+/// irregularity that defeats uniform loop grains ("powerlaw", §4.1).
+pub fn powerlaw_matrix(rows: usize, cols: usize, total_nnz: usize, seed: u64) -> CsrMatrix {
+    let alpha = 1.0f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h: f64 = (1..=rows).map(|i| 1.0 / (i as f64).powf(alpha)).sum();
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for i in 0..rows {
+        let share = (total_nnz as f64 / h) / ((i + 1) as f64).powf(alpha);
+        let k = (share.round() as usize).clamp(1, cols);
+        for _ in 0..k {
+            col_idx.push(rng.gen_range(0..cols) as i64);
+            vals.push(small_val(&mut rng));
+        }
+        row_ptr.push(col_idx.len() as i64);
+    }
+    CsrMatrix {
+        rows,
+        cols,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+/// An arrowhead matrix: dense first row, dense first column, and the
+/// diagonal — "particularly challenging for task scheduling" (§4.1):
+/// one giant row followed by uniformly tiny ones.
+pub fn arrowhead_matrix(n: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    // Row 0: all columns.
+    for c in 0..n {
+        col_idx.push(c as i64);
+        vals.push(small_val(&mut rng));
+    }
+    row_ptr.push(col_idx.len() as i64);
+    // Rows 1..n: first column + diagonal.
+    for r in 1..n {
+        col_idx.push(0);
+        vals.push(small_val(&mut rng));
+        col_idx.push(r as i64);
+        vals.push(small_val(&mut rng));
+        row_ptr.push(col_idx.len() as i64);
+    }
+    CsrMatrix {
+        rows: n,
+        cols: n,
+        row_ptr,
+        col_idx,
+        vals,
+    }
+}
+
+/// A dense integer vector with entries in `[-8, 8]`.
+pub fn dense_vector(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-8i64..=8)).collect()
+}
+
+/// Uniformly distributed integers (mergesort-uniform).
+pub fn uniform_ints(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..1_000_000_000i64)).collect()
+}
+
+/// Exponentially distributed integers (mergesort-exp): many small
+/// values, a long tail — the paper's skewed input.
+pub fn exponential_ints(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (-u.ln() * 100_000.0) as i64
+        })
+        .collect()
+}
+
+/// Clustered integer points for kmeans: `n` points in `d` dimensions
+/// around `k` true centres.
+pub fn kmeans_points(n: usize, d: usize, k: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<i64> = (0..k * d).map(|_| rng.gen_range(-1000i64..=1000)).collect();
+    let mut pts = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let c = i % k;
+        for j in 0..d {
+            pts.push(centres[c * d + j] + rng.gen_range(-50i64..=50));
+        }
+    }
+    pts
+}
+
+/// An `n × n` weighted adjacency matrix for floyd-warshall, with `INF`
+/// (a large sentinel) for missing edges.
+pub fn fw_graph(n: usize, seed: u64) -> Vec<i64> {
+    /// One quarter of `i64::MAX`: safe against overflow in min-plus.
+    pub const INF: i64 = 1 << 40;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = vec![INF; n * n];
+    for i in 0..n {
+        g[i * n + i] = 0;
+        for _ in 0..6 {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                g[i * n + j] = rng.gen_range(1i64..=100);
+            }
+        }
+    }
+    g
+}
+
+/// The floyd-warshall missing-edge sentinel.
+pub const FW_INF: i64 = 1 << 40;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_matrix_wellformed() {
+        let m = random_matrix(100, 100, 8, 1);
+        assert_eq!(m.row_ptr.len(), 101);
+        assert_eq!(*m.row_ptr.last().unwrap() as usize, m.nnz());
+        assert!(m.col_idx.iter().all(|&c| (c as usize) < m.cols));
+        assert!(m.nnz() >= 100);
+    }
+
+    #[test]
+    fn powerlaw_is_skewed() {
+        let m = powerlaw_matrix(1000, 1000, 50_000, 2);
+        let first = (m.row_ptr[1] - m.row_ptr[0]) as usize;
+        let last = (m.row_ptr[1000] - m.row_ptr[999]) as usize;
+        assert!(first > 50 * last, "first row {first} vs last {last}");
+    }
+
+    #[test]
+    fn arrowhead_shape() {
+        let m = arrowhead_matrix(10, 3);
+        assert_eq!(m.nnz(), 10 + 9 * 2);
+        // Row 0 is dense.
+        assert_eq!(m.row_ptr[1] - m.row_ptr[0], 10);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_ints(50, 9), uniform_ints(50, 9));
+        assert_eq!(exponential_ints(50, 9), exponential_ints(50, 9));
+        let a = random_matrix(20, 20, 4, 7);
+        let b = random_matrix(20, 20, 4, 7);
+        assert_eq!(a.vals, b.vals);
+    }
+
+    #[test]
+    fn exponential_is_skewed() {
+        let v = exponential_ints(10_000, 4);
+        let mean = v.iter().sum::<i64>() / v.len() as i64;
+        let below = v.iter().filter(|&&x| x < mean).count();
+        assert!(below > 5_500, "exponential: {below} below mean");
+    }
+
+    #[test]
+    fn spmv_serial_reference() {
+        // [[1, 2], [0, 3]] · [10, 20] = [50, 60]
+        let m = CsrMatrix {
+            rows: 2,
+            cols: 2,
+            row_ptr: vec![0, 2, 3],
+            col_idx: vec![0, 1, 1],
+            vals: vec![1, 2, 3],
+        };
+        assert_eq!(m.spmv_serial(&[10, 20]), vec![50, 60]);
+    }
+
+    #[test]
+    fn fw_graph_diagonal_zero() {
+        let g = fw_graph(8, 5);
+        for i in 0..8 {
+            assert_eq!(g[i * 8 + i], 0);
+        }
+    }
+}

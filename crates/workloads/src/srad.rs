@@ -1,0 +1,268 @@
+//! `srad`: speckle-reducing anisotropic diffusion (ported from Rodinia,
+//! §4.1; 4k × 4k in the paper). Each round makes two full passes over
+//! the image — a gradient/coefficient pass and an update pass — each a
+//! parallel loop over rows with a serial column loop, the classic
+//! stencil shape. The arithmetic is an integer diffusion preserving the
+//! original's memory-access and loop structure.
+
+use tpal_cilk::cilk_for;
+use tpal_ir::ast::{Expr, Function, IrProgram, ParFor, Stmt};
+use tpal_rt::WorkerCtx;
+
+use crate::inputs::dense_vector;
+use crate::{Prepared, Scale, SimInput, SimSpec, Workload};
+
+const ROUNDS: usize = 2;
+
+#[inline]
+fn clampi(v: i64, lo: i64, hi: i64) -> i64 {
+    v.max(lo).min(hi)
+}
+
+/// One diffusion round: `img → out` (integer 4-neighbour diffusion with
+/// a data-dependent coefficient, mirroring SRAD's structure).
+fn round_serial(img: &[i64], out: &mut [i64], rows: usize, cols: usize) {
+    for r in 0..rows {
+        for c in 0..cols {
+            let at = |rr: i64, cc: i64| {
+                let rr = clampi(rr, 0, rows as i64 - 1) as usize;
+                let cc = clampi(cc, 0, cols as i64 - 1) as usize;
+                img[rr * cols + cc]
+            };
+            let x = img[r * cols + c];
+            let n = at(r as i64 - 1, c as i64);
+            let s = at(r as i64 + 1, c as i64);
+            let w = at(r as i64, c as i64 - 1);
+            let e = at(r as i64, c as i64 + 1);
+            let lap = n + s + w + e - 4 * x;
+            // Data-dependent diffusion coefficient in [1, 8].
+            let coef = 1 + (x.unsigned_abs() % 8) as i64;
+            out[r * cols + c] = x + lap * coef / 16;
+        }
+    }
+}
+
+fn srad_serial(initial: &[i64], rows: usize, cols: usize) -> i64 {
+    let mut a = initial.to_vec();
+    let mut b = vec![0i64; rows * cols];
+    for _ in 0..ROUNDS {
+        round_serial(&a, &mut b, rows, cols);
+        std::mem::swap(&mut a, &mut b);
+    }
+    image_checksum(&a)
+}
+
+fn image_checksum(img: &[i64]) -> i64 {
+    let mut h = 0i64;
+    for (i, &x) in img.iter().enumerate() {
+        h = h.wrapping_add(x.wrapping_mul(1 + (i as i64 % 11)));
+    }
+    h
+}
+
+/// Runs one diffusion round with the row loop parallelised by
+/// `run_rows`.
+fn round_parallel(
+    img: &[i64],
+    out: &mut [i64],
+    rows: usize,
+    cols: usize,
+    run_rows: impl FnOnce(&(dyn Fn(usize) + Sync)),
+) {
+    let optr = crate::SyncPtr::new(out.as_mut_ptr());
+    run_rows(&move |r: usize| {
+        for c in 0..cols {
+            let at = |rr: i64, cc: i64| {
+                let rr = clampi(rr, 0, rows as i64 - 1) as usize;
+                let cc = clampi(cc, 0, cols as i64 - 1) as usize;
+                img[rr * cols + cc]
+            };
+            let x = img[r * cols + c];
+            let n = at(r as i64 - 1, c as i64);
+            let s = at(r as i64 + 1, c as i64);
+            let w = at(r as i64, c as i64 - 1);
+            let e = at(r as i64, c as i64 + 1);
+            let lap = n + s + w + e - 4 * x;
+            let coef = 1 + (x.unsigned_abs() % 8) as i64;
+            // SAFETY: row-disjoint writes.
+            unsafe { optr.write(r * cols + c, x + lap * coef / 16) };
+        }
+    });
+}
+
+/// The `srad` workload.
+pub struct Srad;
+
+struct PreparedSrad {
+    initial: Vec<i64>,
+    rows: usize,
+    cols: usize,
+    expected: i64,
+}
+
+impl Prepared for PreparedSrad {
+    fn expected(&self) -> i64 {
+        self.expected
+    }
+
+    fn run_serial(&self) -> i64 {
+        srad_serial(&self.initial, self.rows, self.cols)
+    }
+
+    fn run_heartbeat(&self, ctx: &WorkerCtx<'_>) -> i64 {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut a = self.initial.clone();
+        let mut b = vec![0i64; rows * cols];
+        for _ in 0..ROUNDS {
+            round_parallel(&a, &mut b, rows, cols, |row_fn| {
+                ctx.parallel_for(0..rows, |_, r| row_fn(r));
+            });
+            std::mem::swap(&mut a, &mut b);
+        }
+        image_checksum(&a)
+    }
+
+    fn run_cilk(&self, ctx: &WorkerCtx<'_>) -> i64 {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut a = self.initial.clone();
+        let mut b = vec![0i64; rows * cols];
+        for _ in 0..ROUNDS {
+            round_parallel(&a, &mut b, rows, cols, |row_fn| {
+                cilk_for(ctx, 0..rows, &|_, r| row_fn(r));
+            });
+            std::mem::swap(&mut a, &mut b);
+        }
+        image_checksum(&a)
+    }
+}
+
+impl Workload for Srad {
+    fn name(&self) -> &'static str {
+        "srad"
+    }
+
+    fn prepare(&self, scale: Scale) -> Box<dyn Prepared> {
+        let (rows, cols) = scale.pick((640, 640), (2048, 2048));
+        let initial: Vec<i64> = dense_vector(rows * cols, 0x5EAD)
+            .into_iter()
+            .map(|x| x.unsigned_abs() as i64 * 16)
+            .collect();
+        let expected = srad_serial(&initial, rows, cols);
+        Box::new(PreparedSrad {
+            initial,
+            rows,
+            cols,
+            expected,
+        })
+    }
+
+    fn sim_spec(&self, scale: Scale) -> SimSpec {
+        let (rows, cols) = scale.pick((64, 64), (128, 128));
+        let initial: Vec<i64> = dense_vector(rows * cols, 0x5EAD)
+            .into_iter()
+            .map(|x| x.unsigned_abs() as i64 * 16)
+            .collect();
+        let expected = srad_serial(&initial, rows, cols);
+        let v = Expr::var;
+        let i = Expr::int;
+
+        // One round from src → dst as a ParFor over rows; the function is
+        // called with the buffers swapped each round. Clamped neighbour
+        // indexing via min/max.
+        let cell = |dr: i64, dc: i64| -> Expr {
+            let rr = v("r").add(i(dr)).max(i(0)).min(v("rows").sub(i(1)));
+            let cc = v("c").add(i(dc)).max(i(0)).min(v("cols").sub(i(1)));
+            v("src").load(rr.mul(v("cols")).add(cc))
+        };
+        let round_fn = Function::new("round", ["src", "dst", "rows", "cols"])
+            .stmt(Stmt::ParFor(ParFor::new("r", i(0), v("rows")).body(vec![
+                Stmt::for_(
+                    "c",
+                    i(0),
+                    v("cols"),
+                    vec![
+                        Stmt::assign("x", v("src").load(v("r").mul(v("cols")).add(v("c")))),
+                        Stmt::assign(
+                            "lap",
+                            cell(-1, 0)
+                                .add(cell(1, 0))
+                                .add(cell(0, -1))
+                                .add(cell(0, 1))
+                                .sub(i(4).mul(v("x"))),
+                        ),
+                        // |x| % 8 + 1 via conditional negate.
+                        Stmt::if_else(
+                            v("x").lt(i(0)),
+                            vec![Stmt::assign("ax", i(0).sub(v("x")))],
+                            vec![Stmt::assign("ax", v("x"))],
+                        ),
+                        Stmt::assign("coef", v("ax").rem(i(8)).add(i(1))),
+                        // Floored shift-like division toward -inf is not
+                        // needed: the serial kernel uses / 16 (trunc),
+                        // matched here by Div.
+                        Stmt::store(
+                            v("dst"),
+                            v("r").mul(v("cols")).add(v("c")),
+                            v("x").add(v("lap").mul(v("coef")).div(i(16))),
+                        ),
+                    ],
+                ),
+            ])))
+            .stmt(Stmt::Return(i(0)));
+
+        let main = Function::new("main", ["a", "b", "rows", "cols"])
+            .stmt(Stmt::call(
+                "round",
+                vec![v("a"), v("b"), v("rows"), v("cols")],
+                None,
+            ))
+            .stmt(Stmt::call(
+                "round",
+                vec![v("b"), v("a"), v("rows"), v("cols")],
+                None,
+            ))
+            .stmt(Stmt::assign("h", i(0)))
+            .stmt(Stmt::for_(
+                "p",
+                i(0),
+                v("rows").mul(v("cols")),
+                vec![Stmt::assign(
+                    "h",
+                    v("h").add(v("a").load(v("p")).mul(v("p").rem(i(11)).add(i(1)))),
+                )],
+            ))
+            .stmt(Stmt::Return(v("h")));
+
+        SimSpec {
+            ir: IrProgram::new("main").function(main).function(round_fn),
+            input: SimInput::default()
+                .array("a", initial)
+                .array("b", vec![0; rows * cols])
+                .int("rows", rows as i64)
+                .int("cols", cols as i64),
+            expected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffusion_smooths() {
+        // A single spike spreads to its neighbours.
+        let mut img = vec![0i64; 25];
+        img[12] = 160;
+        let mut out = vec![0i64; 25];
+        round_serial(&img, &mut out, 5, 5);
+        assert!(out[12] < 160);
+        assert!(out[7] > 0 && out[11] > 0 && out[13] > 0 && out[17] > 0);
+    }
+
+    #[test]
+    fn serial_deterministic() {
+        let img = dense_vector(100, 3);
+        assert_eq!(srad_serial(&img, 10, 10), srad_serial(&img, 10, 10));
+    }
+}

@@ -1,0 +1,136 @@
+//! The suite's differential test: every workload must produce its
+//! reference checksum in every build —
+//!
+//! * natively: serial, heartbeat (`tpal-rt`), and eager (`tpal-cilk`);
+//! * simulated: the IR lowered serial/heartbeat/eager and run on the
+//!   multicore simulator.
+//!
+//! This is the property that makes the benchmark numbers meaningful: all
+//! systems do the same computation.
+
+use tpal_cilk::CilkRuntime;
+use tpal_ir::lower::{lower, Mode};
+use tpal_rt::{HeartbeatSource, RtConfig, Runtime};
+use tpal_sim::{Sim, SimConfig};
+use tpal_workloads::{all_workloads, Scale, SimSpec, Workload};
+
+fn run_sim(spec: &SimSpec, mode: Mode, config: SimConfig) -> i64 {
+    let lowered = lower(&spec.ir, mode).unwrap_or_else(|e| panic!("lowering failed: {e}"));
+    let mut sim = Sim::new(&lowered.program, config);
+    for (name, data) in &spec.input.arrays {
+        let base = sim.alloc_array(data);
+        sim.set_reg(&lowered.param_reg(name), base)
+            .unwrap_or_else(|e| panic!("set array {name}: {e}"));
+    }
+    for (name, v) in &spec.input.ints {
+        sim.set_reg(&lowered.param_reg(name), *v)
+            .unwrap_or_else(|e| panic!("set int {name}: {e}"));
+    }
+    let out = sim.run().unwrap_or_else(|e| panic!("sim failed: {e}"));
+    out.read_reg(&lowered.result_reg).expect("result register")
+}
+
+fn check_native(w: &dyn Workload) {
+    let p = w.prepare(Scale::Quick);
+    let expected = p.expected();
+    assert_eq!(p.run_serial(), expected, "{}: native serial", w.name());
+
+    for source in [HeartbeatSource::Disabled, HeartbeatSource::LocalTimer] {
+        let rt = Runtime::new(
+            RtConfig::default()
+                .workers(2)
+                .source(source)
+                .heartbeat(std::time::Duration::from_micros(80)),
+        );
+        let got = rt.run(|ctx| p.run_heartbeat(ctx));
+        assert_eq!(got, expected, "{}: native heartbeat {source:?}", w.name());
+    }
+
+    let cilk = CilkRuntime::new(2);
+    let got = cilk.run(|ctx| p.run_cilk(ctx));
+    assert_eq!(got, expected, "{}: native cilk", w.name());
+}
+
+fn check_sim(w: &dyn Workload) {
+    let spec = w.sim_spec(Scale::Quick);
+    assert_eq!(
+        run_sim(&spec, Mode::Serial, SimConfig::serial()),
+        spec.expected,
+        "{}: sim serial",
+        w.name()
+    );
+    assert_eq!(
+        run_sim(&spec, Mode::Heartbeat, SimConfig::nautilus(4, 3000)),
+        spec.expected,
+        "{}: sim heartbeat/nautilus",
+        w.name()
+    );
+    assert_eq!(
+        run_sim(&spec, Mode::Heartbeat, SimConfig::linux(4, 3000)),
+        spec.expected,
+        "{}: sim heartbeat/linux",
+        w.name()
+    );
+    assert_eq!(
+        run_sim(
+            &spec,
+            Mode::Eager { workers: 4 },
+            SimConfig::nautilus(4, 3000)
+        ),
+        spec.expected,
+        "{}: sim eager",
+        w.name()
+    );
+    assert_eq!(
+        run_sim(&spec, Mode::HeartbeatExpanded, SimConfig::nautilus(4, 3000)),
+        spec.expected,
+        "{}: sim heartbeat/expanded",
+        w.name()
+    );
+}
+
+macro_rules! workload_tests {
+    ($($test:ident => $name:expr),* $(,)?) => {
+        $(
+            mod $test {
+                use super::*;
+
+                #[test]
+                fn native() {
+                    let w = tpal_workloads::workload($name).expect("known workload");
+                    check_native(w.as_ref());
+                }
+
+                #[test]
+                fn simulated() {
+                    let w = tpal_workloads::workload($name).expect("known workload");
+                    check_sim(w.as_ref());
+                }
+            }
+        )*
+    };
+}
+
+workload_tests! {
+    plus_reduce_array => "plus-reduce-array",
+    spmv_random => "spmv-random",
+    spmv_powerlaw => "spmv-powerlaw",
+    spmv_arrowhead => "spmv-arrowhead",
+    mandelbrot => "mandelbrot",
+    kmeans => "kmeans",
+    srad => "srad",
+    floyd_warshall_small => "floyd-warshall-small",
+    floyd_warshall_large => "floyd-warshall-large",
+    knapsack => "knapsack",
+    mergesort_uniform => "mergesort-uniform",
+    mergesort_exp => "mergesort-exp",
+}
+
+#[test]
+fn registry_has_twelve() {
+    let names: Vec<_> = all_workloads().iter().map(|w| w.name()).collect();
+    assert_eq!(names.len(), 12);
+    // Paper grouping: 9 iterative + 3 recursive.
+    let recursive = all_workloads().iter().filter(|w| w.is_recursive()).count();
+    assert_eq!(recursive, 3);
+}

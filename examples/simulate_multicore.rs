@@ -1,0 +1,73 @@
+//! The full pipeline on simulated multicore hardware: compile the
+//! `spmv-powerlaw` benchmark from the task-parallel IR to TPAL in all
+//! three modes (serial / heartbeat / Cilk-eager), then execute on the
+//! cycle-level simulator across core counts and interrupt mechanisms —
+//! a miniature of the paper's Figures 11 and 14.
+//!
+//! Run with: `cargo run --release --example simulate_multicore`
+
+use tpal::ir::lower::{lower, Mode};
+use tpal::sim::{Sim, SimConfig};
+use tpal::workloads::{workload, Scale, SimSpec};
+
+fn run(spec: &SimSpec, mode: Mode, config: SimConfig) -> (i64, u64, u64, f64) {
+    let lowered = lower(&spec.ir, mode).expect("lowering");
+    let mut sim = Sim::new(&lowered.program, config);
+    for (name, data) in &spec.input.arrays {
+        let base = sim.alloc_array(data);
+        sim.set_reg(&lowered.param_reg(name), base).unwrap();
+    }
+    for (name, v) in &spec.input.ints {
+        sim.set_reg(&lowered.param_reg(name), *v).unwrap();
+    }
+    let out = sim.run().expect("simulation");
+    (
+        out.read_reg(&lowered.result_reg).unwrap(),
+        out.time,
+        out.stats.forks,
+        out.utilization(),
+    )
+}
+
+fn main() {
+    let w = workload("spmv-powerlaw").expect("known workload");
+    let spec = w.sim_spec(Scale::Quick);
+    println!("spmv-powerlaw on the multicore simulator (irregular rows!)\n");
+
+    // Serial baseline time.
+    let (r, t_serial, _, _) = run(&spec, Mode::Serial, SimConfig::serial());
+    assert_eq!(r, spec.expected);
+    println!("serial baseline: {t_serial} cycles\n");
+
+    println!("cores  heartbeat/nautilus   heartbeat/linux      cilk-eager");
+    println!("       speedup tasks util   speedup tasks util   speedup tasks util");
+    for cores in [1usize, 2, 4, 8, 15] {
+        let mut row = format!("{cores:<6}");
+        for (mode, cfg) in [
+            (Mode::Heartbeat, SimConfig::nautilus(cores, 3000)),
+            (Mode::Heartbeat, SimConfig::linux(cores, 3000)),
+            (
+                Mode::Eager {
+                    workers: cores as u32,
+                },
+                SimConfig::nautilus(cores, 3000),
+            ),
+        ] {
+            let (r, t, tasks, util) = run(&spec, mode, cfg);
+            assert_eq!(r, spec.expected, "checksum must not depend on schedule");
+            row.push_str(&format!(
+                " {:>6.2}x {:<5} {:>3.0}% ",
+                t_serial as f64 / t as f64,
+                tasks,
+                util * 100.0
+            ));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nThe powerlaw matrix's first row holds a large share of all non-zeros;\n\
+         heartbeat scheduling splits it on demand (outer loop first, then the\n\
+         giant row internally), while Cilk's fixed 8P grains must guess."
+    );
+}

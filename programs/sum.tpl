@@ -1,0 +1,11 @@
+// A latent parallel sum in the task-parallel source language: compiled
+// by tpal-ir with heartbeat code versioning (or --mode eager/serial).
+// Run: cargo run --release --bin tpal-run -- programs/sum.tpl --ir \
+//        --set n=200000 --sim 8
+fn main(n) {
+    a = alloc(n);
+    parfor i in 0..n { a[i] = i * 3 + 1; }
+    s = 0;
+    parfor i in 0..n reduce(s: +, 0) { s = s + a[i]; }
+    return s;
+}

@@ -1,0 +1,280 @@
+//! `tpal-run`: execute a TPAL assembly file — or compile and run a
+//! task-parallel source file.
+//!
+//! ```text
+//! tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]]
+//!               [--set reg=int]... [--heartbeat N] [--tau N]
+//!               [--sim CORES] [--linux | --nautilus]
+//!               [--newest-first] [--print]
+//! ```
+//!
+//! Without `--ir`, FILE is TPAL assembly (`.tpal`). With `--ir`, FILE is
+//! the C-like task-parallel source language (`.tpl`), compiled through
+//! `tpal-ir` in the chosen mode (default `heartbeat`); `--set` then
+//! names the entry function's parameters and the result register is
+//! `result`. Runs on the reference machine by default, or on the
+//! multicore simulator with `--sim CORES`. `--print` prints the (parsed
+//! or generated) TPAL assembly instead of running.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin tpal-run -- programs/prod.tpal \
+//!     --set a=100000 --set b=3 --sim 8
+//! cargo run --release --bin tpal-run -- programs/sum.tpl --ir \
+//!     --set n=100000 --sim 8 --linux
+//! ```
+
+use std::process::ExitCode;
+
+use tpal::core::asm::{parse_program, print_program};
+use tpal::core::machine::{Machine, MachineConfig, PromotionOrder};
+use tpal::sim::{Sim, SimConfig};
+
+struct Options {
+    file: String,
+    sets: Vec<(String, i64)>,
+    heartbeat: u64,
+    tau: u64,
+    sim_cores: Option<usize>,
+    linux: bool,
+    print: bool,
+    ir: bool,
+    mode: tpal::ir::Mode,
+    order: PromotionOrder,
+}
+
+fn usage() -> String {
+    "usage: tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]] \
+     [--set reg=int]... [--heartbeat N] [--tau N] [--sim CORES] \
+     [--linux | --nautilus] [--newest-first] [--print]"
+        .to_owned()
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
+    args.next(); // program name
+    let mut opts = Options {
+        file: String::new(),
+        sets: Vec::new(),
+        heartbeat: 100,
+        tau: 10,
+        sim_cores: None,
+        linux: false,
+        print: false,
+        ir: false,
+        mode: tpal::ir::Mode::Heartbeat,
+        order: PromotionOrder::OldestFirst,
+    };
+    let need = |args: &mut std::env::Args, what: &str| {
+        args.next().ok_or_else(|| format!("{what} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--set" => {
+                let kv = need(&mut args, "--set")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects reg=int, got `{kv}`"))?;
+                let v: i64 = v.parse().map_err(|e| format!("--set {kv}: {e}"))?;
+                opts.sets.push((k.to_owned(), v));
+            }
+            "--heartbeat" => {
+                opts.heartbeat = need(&mut args, "--heartbeat")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat: {e}"))?;
+            }
+            "--tau" => {
+                opts.tau = need(&mut args, "--tau")?
+                    .parse()
+                    .map_err(|e| format!("--tau: {e}"))?;
+            }
+            "--sim" => {
+                opts.sim_cores = Some(
+                    need(&mut args, "--sim")?
+                        .parse()
+                        .map_err(|e| format!("--sim: {e}"))?,
+                );
+            }
+            "--newest-first" => opts.order = PromotionOrder::NewestFirst,
+            "--linux" => opts.linux = true,
+            "--nautilus" => opts.linux = false,
+            "--print" => opts.print = true,
+            "--ir" => opts.ir = true,
+            "--mode" => {
+                opts.mode = match need(&mut args, "--mode")?.as_str() {
+                    "serial" => tpal::ir::Mode::Serial,
+                    "heartbeat" => tpal::ir::Mode::Heartbeat,
+                    "expanded" => tpal::ir::Mode::HeartbeatExpanded,
+                    "eager" => tpal::ir::Mode::Eager { workers: 15 },
+                    other => return Err(format!("unknown --mode `{other}`")),
+                };
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_owned();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Assembly directly, or source compiled through the IR. With --ir,
+    // --set names become entry-function parameters.
+    let (program, sets) = if opts.ir {
+        let ir = match tpal::ir::parse_ir(&src) {
+            Ok(ir) => ir,
+            Err(e) => {
+                eprintln!("{}: {e}", opts.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        let lowered = match tpal::ir::lower(&ir, opts.mode) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("{}: {e}", opts.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        let sets = opts
+            .sets
+            .iter()
+            .map(|(k, v)| (lowered.param_reg(k), *v))
+            .collect::<Vec<_>>();
+        (lowered.program, sets)
+    } else {
+        let program = match parse_program(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: {e}", opts.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        (program, opts.sets.clone())
+    };
+    if opts.print {
+        print!("{}", print_program(&program));
+        return ExitCode::SUCCESS;
+    }
+
+    // Final integer registers, sorted by name, skipping never-written ones.
+    let dump = |regs: &[(String, i64)]| {
+        for (name, v) in regs {
+            println!("  {name} = {v}");
+        }
+    };
+
+    if let Some(cores) = opts.sim_cores {
+        // The simulator's ♥ is in cycles; the machine default of 100 is
+        // far too aggressive there, so default to the tuned value.
+        let heartbeat = if opts.heartbeat == 100 {
+            3_000
+        } else {
+            opts.heartbeat
+        };
+        let mut config = if opts.linux {
+            SimConfig::linux(cores, heartbeat)
+        } else {
+            SimConfig::nautilus(cores, heartbeat)
+        };
+        config.promotion_order = opts.order;
+        let mut sim = Sim::new(&program, config);
+        for (k, v) in &sets {
+            if let Err(e) = sim.set_reg(k, *v) {
+                eprintln!("--set {k}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match sim.run() {
+            Ok(out) => {
+                println!("simulated {cores} cores, ♥ = {heartbeat}:");
+                let mut regs = Vec::new();
+                for i in 0..program.reg_count() {
+                    let name = program
+                        .reg_name(tpal::core::isa::Reg::from_index(i))
+                        .to_owned();
+                    if let Some(v) = out.read_reg(&name) {
+                        regs.push((name, v));
+                    }
+                }
+                regs.sort();
+                dump(&regs);
+                println!(
+                    "  time = {} cycles, tasks = {}, steals = {}, utilization = {:.0}%, \
+                     heartbeat rate achieved = {:.0}%",
+                    out.time,
+                    out.stats.forks,
+                    out.stats.steals,
+                    out.utilization() * 100.0,
+                    out.heartbeat_rate_achieved() * 100.0
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let config = MachineConfig::default()
+            .with_heartbeat(opts.heartbeat)
+            .with_tau(opts.tau)
+            .with_promotion_order(opts.order);
+        let mut m = Machine::new(&program, config);
+        for (k, v) in &sets {
+            if let Err(e) = m.set_reg(k, *v) {
+                eprintln!("--set {k}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match m.run() {
+            Ok(out) => {
+                println!("machine run, ♥ = {}:", opts.heartbeat);
+                let mut shown = Vec::new();
+                for i in 0..program.reg_count() {
+                    let name = program
+                        .reg_name(tpal::core::isa::Reg::from_index(i))
+                        .to_owned();
+                    if let Some(v) = out.read_reg(&name) {
+                        shown.push((name, v));
+                    }
+                }
+                shown.sort();
+                dump(&shown);
+                println!(
+                    "  instructions = {}, tasks = {}, promotions = {}, work = {}, span = {} \
+                     (parallelism {:.1})",
+                    out.stats.instructions,
+                    out.stats.forks,
+                    out.stats.promotions,
+                    out.work,
+                    out.span,
+                    out.parallelism()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("machine fault: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The shipped `.tpal` corpus stays loadable and correct.
+
+use tpal::core::asm::parse_program;
+use tpal::core::machine::{Machine, MachineConfig};
+use tpal::sim::{Sim, SimConfig};
+
+fn load(name: &str) -> tpal::core::program::Program {
+    let src = std::fs::read_to_string(format!("programs/{name}.tpal"))
+        .unwrap_or_else(|e| panic!("programs/{name}.tpal: {e}"));
+    parse_program(&src).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn prod_corpus() {
+    let p = load("prod");
+    let mut m = Machine::new(&p, MachineConfig::default().with_heartbeat(64));
+    m.set_reg("a", 1_000).unwrap();
+    m.set_reg("b", 11).unwrap();
+    assert_eq!(m.run().unwrap().read_reg("c"), Some(11_000));
+}
+
+#[test]
+fn fib_corpus_simulated() {
+    let p = load("fib");
+    let mut sim = Sim::new(&p, SimConfig::nautilus(4, 1000));
+    sim.set_reg("n", 20).unwrap();
+    assert_eq!(sim.run().unwrap().read_reg("f"), Some(6_765));
+}
+
+#[test]
+fn pow_corpus() {
+    let p = load("pow");
+    let mut m = Machine::new(&p, MachineConfig::default().with_heartbeat(50));
+    m.set_reg("d", 7).unwrap();
+    m.set_reg("e", 8).unwrap();
+    assert_eq!(m.run().unwrap().read_reg("f"), Some(5_764_801));
+}
+
+#[test]
+fn sum_tpl_corpus_through_frontend() {
+    let src = std::fs::read_to_string("programs/sum.tpl").unwrap();
+    let ir = tpal::ir::parse_ir(&src).unwrap_or_else(|e| panic!("{e}"));
+    let n = 5_000i64;
+    let expected: i64 = (0..n).map(|i| i * 3 + 1).sum();
+    for mode in [
+        tpal::ir::Mode::Serial,
+        tpal::ir::Mode::Heartbeat,
+        tpal::ir::Mode::HeartbeatExpanded,
+        tpal::ir::Mode::Eager { workers: 4 },
+    ] {
+        let lowered = tpal::ir::lower(&ir, mode).unwrap();
+        let mut m = Machine::new(
+            &lowered.program,
+            MachineConfig::default().with_heartbeat(120),
+        );
+        m.set_reg(&lowered.param_reg("n"), n).unwrap();
+        assert_eq!(
+            m.run().unwrap().read_reg(&lowered.result_reg),
+            Some(expected),
+            "{mode:?}"
+        );
+    }
+}

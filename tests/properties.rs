@@ -1,0 +1,292 @@
+//! Property-based whole-pipeline tests: randomly generated task-parallel
+//! IR programs must produce identical results under every lowering mode,
+//! schedule, heartbeat setting, and executor — the compiler/runtime
+//! analogue of the paper's claim that annotations never change a
+//! program's meaning.
+
+use proptest::prelude::*;
+
+use tpal::core::isa::BinOp;
+use tpal::core::machine::{Machine, MachineConfig, PromotionOrder, SchedulePolicy};
+use tpal::ir::ast::{CallSpec, Expr, Function, IrProgram, ParFor, ParForNested, Reducer, Stmt};
+use tpal::ir::lower::{lower, Mode};
+use tpal::sim::{Sim, SimConfig};
+
+const VARS: [&str; 4] = ["v0", "v1", "v2", "v3"];
+/// Loop-local temporaries: the only variables a ParFor body may assign
+/// (beyond its reducer), per the documented discipline — they are
+/// re-initialised unconditionally at the top of every iteration, so no
+/// value flows between iterations.
+const LOOP_VARS: [&str; 2] = ["t0", "t1"];
+
+/// Safe operators only (no division: generated divisors could be zero,
+/// and wrapping semantics keep everything else total).
+fn expr_strategy(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        proptest::sample::select(&VARS[..]).prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        (
+            proptest::sample::select(
+                &[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Min,
+                    BinOp::Max,
+                    BinOp::Xor,
+                    BinOp::Lt,
+                    BinOp::EqOp,
+                ][..],
+            ),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::bin(op, a, b))
+    })
+    .boxed()
+}
+
+/// Random serial statements assigning only variables in `targets`
+/// (expressions may read anything).
+fn stmt_strategy(depth: u32, targets: &'static [&'static str]) -> BoxedStrategy<Stmt> {
+    let assign =
+        (proptest::sample::select(targets), expr_strategy(2)).prop_map(|(v, e)| Stmt::assign(v, e));
+    if depth == 0 {
+        return assign.boxed();
+    }
+    let body = proptest::collection::vec(stmt_strategy(depth - 1, targets), 1..3);
+    let ifs =
+        (expr_strategy(1), body.clone(), body.clone()).prop_map(|(c, t, e)| Stmt::if_else(c, t, e));
+    // Serial loops count with a dedicated variable the body cannot
+    // assign (reassigning one's own loop counter is an infinite loop,
+    // not an interesting program).
+    let counter = format!("f{depth}");
+    let fors = (0i64..6, body)
+        .prop_map(move |(n, b)| Stmt::for_(counter.clone(), Expr::int(0), Expr::int(n), b));
+    prop_oneof![3 => assign, 1 => ifs, 1 => fors].boxed()
+}
+
+/// A random program: serial prologue, a reducing ParFor whose body is
+/// random serial code, serial epilogue.
+fn program_strategy() -> impl Strategy<Value = IrProgram> {
+    (
+        proptest::collection::vec(stmt_strategy(2, &VARS), 0..4),
+        proptest::collection::vec(stmt_strategy(1, &LOOP_VARS), 0..3),
+        (expr_strategy(1), expr_strategy(1)),
+        10usize..120,
+        expr_strategy(2),
+    )
+        .prop_map(|(pre, loop_tail, (e0, e1), n, ret)| {
+            // Iteration-local temporaries are assigned unconditionally at
+            // the top of every iteration from pure inputs, so the random
+            // statements after them stay deterministic under splitting.
+            let mut body = vec![
+                Stmt::assign("t0", e0.add(Expr::var("i"))),
+                Stmt::assign("t1", e1),
+            ];
+            body.extend(loop_tail);
+            // The loop contributes through a reducer so its iterations
+            // matter, whatever the random statements do.
+            body.push(Stmt::assign(
+                "acc",
+                Expr::var("acc")
+                    .add(Expr::var("i").mul(Expr::int(3)))
+                    .add(Expr::var("t0").min(Expr::var("t1")))
+                    .add(Expr::var("v0").min(Expr::var("v1"))),
+            ));
+            let mut f = Function::new("main", ["seed"]);
+            f = f.stmt(Stmt::assign("v0", Expr::var("seed")));
+            f = f.stmt(Stmt::assign("v1", Expr::int(1)));
+            f = f.stmt(Stmt::assign("v2", Expr::int(2)));
+            f = f.stmt(Stmt::assign("v3", Expr::int(3)));
+            f = f.stmt(Stmt::assign("t0", Expr::int(0)));
+            f = f.stmt(Stmt::assign("t1", Expr::int(0)));
+            f = f.stmt(Stmt::assign("acc", Expr::int(0)));
+            for s in pre {
+                f = f.stmt(s);
+            }
+            f = f.stmt(Stmt::ParFor(
+                ParFor::new("i", Expr::int(0), Expr::int(n as i64))
+                    .body(body)
+                    .reducer(Reducer::new("acc", BinOp::Add, 0)),
+            ));
+            f = f.stmt(Stmt::Return(Expr::var("acc").add(ret)));
+            IrProgram::new("main").function(f)
+        })
+}
+
+/// An irregular nested loop (triangular inner bounds): outer iteration
+/// `j` sums `seed + k` for `k < j` — the shape where promotion order
+/// genuinely chooses between outer and inner latent parallelism.
+fn nested_program(outer: i64) -> IrProgram {
+    let v = Expr::var;
+    let i = Expr::int;
+    let nest = ParForNested {
+        outer_var: "j".into(),
+        outer_from: i(0),
+        outer_to: i(outer * 12),
+        pre: vec![Stmt::assign("row", Expr::int(0))],
+        inner_var: "k".into(),
+        inner_from: i(0),
+        inner_to: v("j"),
+        inner_body: vec![Stmt::assign("row", v("row").add(v("seed")).add(v("k")))],
+        inner_reducers: vec![Reducer::new("row", BinOp::Add, 0)],
+        post: vec![Stmt::assign("acc", v("acc").add(v("row")))],
+        outer_reducers: vec![Reducer::new("acc", BinOp::Add, 0)],
+    };
+    let f = Function::new("main", ["seed"])
+        .stmt(Stmt::assign("acc", i(0)))
+        .stmt(Stmt::ParForNested(Box::new(nest)))
+        .stmt(Stmt::Return(v("acc")));
+    IrProgram::new("main").function(f)
+}
+
+/// Binary fork-join recursion (fib shape) — the mark-list case where
+/// oldest/newest marks differ most.
+fn par2_program() -> IrProgram {
+    let v = Expr::var;
+    let i = Expr::int;
+    let f = Function::new("main", ["seed"])
+        .stmt(Stmt::if_(v("seed").lt(i(2)), vec![Stmt::Return(v("seed"))]))
+        .stmt(Stmt::Par2 {
+            left: CallSpec::new("main", vec![v("seed").sub(i(1))], "x"),
+            right: CallSpec::new("main", vec![v("seed").sub(i(2))], "y"),
+        })
+        .stmt(Stmt::Return(v("x").add(v("y"))));
+    IrProgram::new("main").function(f)
+}
+
+fn run_machine(ir: &IrProgram, mode: Mode, mut cfg: MachineConfig, seed: i64) -> i64 {
+    // Generated programs are tiny; a tight step limit turns any
+    // generator bug into a fast failure instead of a long spin.
+    cfg.step_limit = 20_000_000;
+    let lowered = lower(ir, mode).expect("lowering");
+    let mut m = Machine::new(&lowered.program, cfg);
+    m.set_reg(&lowered.param_reg("seed"), seed).unwrap();
+    m.run()
+        .unwrap_or_else(|e| panic!("machine error: {e}"))
+        .read_reg(&lowered.result_reg)
+        .expect("result")
+}
+
+fn run_sim(ir: &IrProgram, mode: Mode, mut cfg: SimConfig, seed: i64) -> i64 {
+    cfg.step_limit = 20_000_000;
+    let lowered = lower(ir, mode).expect("lowering");
+    let mut s = Sim::new(&lowered.program, cfg);
+    s.set_reg(&lowered.param_reg("seed"), seed).unwrap();
+    s.run()
+        .unwrap_or_else(|e| panic!("sim error: {e}"))
+        .read_reg(&lowered.result_reg)
+        .expect("result")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lowering-mode equivalence: serial, heartbeat (several ♥ and
+    /// schedules), and eager all compute the same function.
+    #[test]
+    fn lowering_modes_agree(ir in program_strategy(), seed in -50i64..50) {
+        let reference = run_machine(&ir, Mode::Serial, MachineConfig::serial(), seed);
+
+        for hb in [45u64, 200, u64::MAX] {
+            for mode in [Mode::Heartbeat, Mode::HeartbeatExpanded] {
+                let got = run_machine(
+                    &ir,
+                    mode,
+                    MachineConfig::default()
+                        .with_heartbeat(hb)
+                        .with_policy(SchedulePolicy::Random { seed: 7, quantum: 9 }),
+                    seed,
+                );
+                prop_assert_eq!(got, reference, "{:?} ♥={}", mode, hb);
+            }
+        }
+        let eager = run_machine(
+            &ir,
+            Mode::Eager { workers: 3 },
+            MachineConfig::serial().with_policy(SchedulePolicy::ChildFirst),
+            seed,
+        );
+        prop_assert_eq!(eager, reference, "eager");
+    }
+
+    /// Executor equivalence: the multicore simulator agrees with the
+    /// reference machine on heartbeat-lowered programs, for any core
+    /// count, interrupt model, and seed.
+    #[test]
+    fn sim_agrees_with_machine(
+        ir in program_strategy(),
+        seed in -50i64..50,
+        cores in 1usize..9,
+        sim_seed in 0u64..1000,
+    ) {
+        let reference = run_machine(&ir, Mode::Serial, MachineConfig::serial(), seed);
+        let mut cfg = SimConfig::linux(cores, 700);
+        cfg.seed = sim_seed;
+        prop_assert_eq!(run_sim(&ir, Mode::Heartbeat, cfg, seed), reference);
+        let mut cfg = SimConfig::nautilus(cores, 450);
+        cfg.seed = sim_seed;
+        prop_assert_eq!(run_sim(&ir, Mode::Eager { workers: cores as u32 }, cfg, seed), reference);
+    }
+
+    /// Promotion order is a pure scheduling choice: flipping `prmsplit`
+    /// from the paper's outermost-first policy to innermost-first never
+    /// changes a program's result, on flat random loops, on irregular
+    /// nested loops, and on random binary fork-join recursion.
+    #[test]
+    fn promotion_order_never_changes_results(
+        ir in program_strategy(),
+        seed in -50i64..50,
+        outer in 2i64..8,
+        depth in 5i64..15,
+    ) {
+        let cases: [(&str, IrProgram); 3] = [
+            ("flat", ir),
+            ("nested", nested_program(outer)),
+            ("par2", par2_program()),
+        ];
+        for (label, ir) in cases {
+            let arg = if label == "par2" { depth } else { seed };
+            let reference = run_machine(&ir, Mode::Serial, MachineConfig::serial(), arg);
+            for order in [PromotionOrder::OldestFirst, PromotionOrder::NewestFirst] {
+                let got = run_machine(
+                    &ir,
+                    Mode::Heartbeat,
+                    MachineConfig::default()
+                        .with_heartbeat(60)
+                        .with_promotion_order(order)
+                        .with_policy(SchedulePolicy::Random { seed: 11, quantum: 7 }),
+                    arg,
+                );
+                prop_assert_eq!(got, reference, "{} under {:?}", label, order);
+                let mut cfg = SimConfig::nautilus(5, 500);
+                cfg.promotion_order = order;
+                prop_assert_eq!(
+                    run_sim(&ir, Mode::Heartbeat, cfg, arg),
+                    reference,
+                    "{} on sim under {:?}", label, order
+                );
+            }
+        }
+    }
+
+    /// The generated TPAL always survives a print → parse round trip.
+    #[test]
+    fn lowered_programs_roundtrip_asm(ir in program_strategy()) {
+        for mode in [
+            Mode::Serial,
+            Mode::Heartbeat,
+            Mode::HeartbeatExpanded,
+            Mode::Eager { workers: 4 },
+        ] {
+            let lowered = lower(&ir, mode).expect("lowering");
+            let text = tpal::core::asm::print_program(&lowered.program);
+            let back = tpal::core::asm::parse_program(&text)
+                .unwrap_or_else(|e| panic!("reparse ({mode:?}): {e}"));
+            prop_assert_eq!(back.instr_count(), lowered.program.instr_count());
+        }
+    }
+}
