@@ -56,10 +56,7 @@ fn main() {
         println!("{row}");
     }
     let geo = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
-    println!(
-        "\ngeomean advantage of outermost-first: {:.2}x",
-        geo.exp()
-    );
+    println!("\ngeomean advantage of outermost-first: {:.2}x", geo.exp());
     println!(
         "\nshape: flat loops expose one mark at a time, so the policies tie;\n\
          on recursive workloads innermost-first promotes leaf-sized\n\

@@ -44,16 +44,34 @@ impl Heap {
     }
 
     /// Loads the word at `base + offset`.
+    ///
+    /// (Hot path: a negative address casts to a `usize` far beyond any
+    /// length, so the single `get` doubles as the upper *and* lower range
+    /// check; only null needs testing separately.)
     pub fn load(&self, base: i64, offset: i64) -> Result<i64, MachineError> {
-        let a = self.check(base.wrapping_add(offset))?;
-        Ok(self.words[a])
+        let addr = base.wrapping_add(offset);
+        if addr == 0 {
+            return Err(MachineError::HeapOutOfRange { addr });
+        }
+        self.words
+            .get(addr as usize)
+            .copied()
+            .ok_or(MachineError::HeapOutOfRange { addr })
     }
 
     /// Stores a word at `base + offset`.
     pub fn store(&mut self, base: i64, offset: i64, v: i64) -> Result<(), MachineError> {
-        let a = self.check(base.wrapping_add(offset))?;
-        self.words[a] = v;
-        Ok(())
+        let addr = base.wrapping_add(offset);
+        if addr == 0 {
+            return Err(MachineError::HeapOutOfRange { addr });
+        }
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = v;
+                Ok(())
+            }
+            None => Err(MachineError::HeapOutOfRange { addr }),
+        }
     }
 
     /// A view of `len` words starting at `base` (for reading results back

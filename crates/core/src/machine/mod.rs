@@ -26,5 +26,8 @@ pub use exec::{ExecStats, Machine, MachineConfig, Outcome, SchedulePolicy};
 pub use heap::Heap;
 pub use join::{Assoc, JoinId, JoinOutcome, JoinStore};
 pub use stack::{PromotionOrder, StackId, StackRef, StackStore};
-pub use step::{resolve_join, step_task, JoinResolution, StepOutcome, Stores, TaskCost, TaskState};
+pub use step::{
+    resolve_join, run_task_until, step_task, JoinResolution, RunPause, StepOutcome, Stores,
+    TaskCost, TaskState,
+};
 pub use value::{MachineError, RegFile, Value};

@@ -163,16 +163,34 @@ impl StackStore {
     }
 
     /// `r := mem[sp + offset]`: loads a cell.
+    ///
+    /// (Hot path: a negative position casts to a `usize` far beyond any
+    /// length, so the single `get` doubles as the upper *and* lower range
+    /// check of [`Self::check`].)
     pub fn load(&self, sp: StackRef, offset: u32) -> Result<Value, MachineError> {
-        let pos = self.check(sp, offset)?;
-        Ok(self.cells(sp.stack)[pos])
+        let cells = &self.stacks[sp.stack.index()];
+        let pos = sp.pos - offset as i64;
+        cells
+            .get(pos as usize)
+            .copied()
+            .ok_or(MachineError::StackOutOfRange {
+                pos,
+                len: cells.len(),
+            })
     }
 
     /// `mem[sp + offset] := v`: stores to a cell.
     pub fn store(&mut self, sp: StackRef, offset: u32, v: Value) -> Result<(), MachineError> {
-        let pos = self.check(sp, offset)?;
-        self.cells_mut(sp.stack)[pos] = v;
-        Ok(())
+        let cells = &mut self.stacks[sp.stack.index()];
+        let pos = sp.pos - offset as i64;
+        let len = cells.len();
+        match cells.get_mut(pos as usize) {
+            Some(cell) => {
+                *cell = v;
+                Ok(())
+            }
+            None => Err(MachineError::StackOutOfRange { pos, len }),
+        }
     }
 
     /// `prmpush mem[sp + offset]`: places a promotion-ready mark.

@@ -283,6 +283,211 @@ pub fn eval_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, MachineErr
     }
 }
 
+/// Executes one *plain* instruction: any instruction that is neither a
+/// control boundary (`halt`, `fork`, `join`) nor an allocation against a
+/// globally ordered store (`jralloc`, `snew`, `halloc`).
+///
+/// Plain instructions only touch the task's own registers, its stack
+/// cells, and heap cells — effects whose fine-grained interleaving across
+/// cores is unobservable for data-race-free programs. That property is
+/// what lets [`run_task_until`] execute runs of them without returning to
+/// the scheduler.
+///
+/// Executes one plain instruction, advancing `task.instr` past it first
+/// (jumps then overwrite the position), and returns `Ok(true)`. If
+/// `instr` is a *boundary* — it transfers control between tasks (`halt`,
+/// `fork`, `join`) or allocates from a store whose allocation order is
+/// observable in results (`jralloc` issues [`JoinId`]s, `snew` issues
+/// stack ids, `halloc` issues heap base addresses) — nothing is touched
+/// and the result is `Ok(false)`; folding that test into the dispatch
+/// keeps the batched executor at exactly one match per instruction.
+/// Cycle/cost counters are the caller's job.
+#[inline]
+fn exec_plain(
+    task: &mut TaskState,
+    stores: &mut Stores,
+    instr: &Instr,
+) -> Result<bool, MachineError> {
+    match *instr {
+        Instr::Move { dst, src } => {
+            task.instr += 1;
+            let v = task.read_operand(src)?;
+            task.regs.write(dst, v);
+        }
+        Instr::Op { dst, op, lhs, rhs } => {
+            task.instr += 1;
+            let l = task.regs.read(lhs)?;
+            let r = task.read_operand(rhs)?;
+            task.regs.write(dst, eval_binop(op, l, r)?);
+        }
+        Instr::IfJump { cond, target } => {
+            task.instr += 1;
+            if task.regs.read(cond)?.is_true() {
+                let l = task.jump_target(target)?;
+                task.goto(l);
+            }
+        }
+        Instr::Jump { target } => {
+            task.instr += 1;
+            let l = task.jump_target(target)?;
+            task.goto(l);
+        }
+        Instr::SAlloc { sp, n } => {
+            task.instr += 1;
+            let cur = task.stack_reg(sp)?;
+            let new = stores.stacks.salloc(cur, n)?;
+            task.regs.write(sp, Value::Stack(new));
+        }
+        Instr::SFree { sp, n } => {
+            task.instr += 1;
+            let cur = task.stack_reg(sp)?;
+            let new = stores.stacks.sfree(cur, n)?;
+            task.regs.write(sp, Value::Stack(new));
+        }
+        Instr::Load { dst, addr } => {
+            task.instr += 1;
+            let sp = task.stack_reg(addr.base)?;
+            let v = stores.stacks.load(sp, addr.offset)?;
+            task.regs.write(dst, v);
+        }
+        Instr::Store { addr, src } => {
+            task.instr += 1;
+            let sp = task.stack_reg(addr.base)?;
+            let v = task.read_operand(src)?;
+            stores.stacks.store(sp, addr.offset, v)?;
+        }
+        Instr::PrmPush { addr } => {
+            task.instr += 1;
+            let sp = task.stack_reg(addr.base)?;
+            stores.stacks.prmpush(sp, addr.offset)?;
+        }
+        Instr::PrmPop { addr } => {
+            task.instr += 1;
+            let sp = task.stack_reg(addr.base)?;
+            stores.stacks.prmpop(sp, addr.offset)?;
+        }
+        Instr::PrmEmpty { dst, sp } => {
+            task.instr += 1;
+            let spv = task.stack_reg(sp)?;
+            let v = stores.stacks.prmempty(spv)?;
+            task.regs.write(dst, v);
+        }
+        Instr::PrmSplit { sp, dst } => {
+            task.instr += 1;
+            let spv = task.stack_reg(sp)?;
+            let off = stores.stacks.prmsplit(spv)?;
+            task.regs.write(dst, Value::Int(off));
+        }
+        Instr::HLoad { dst, base, offset } => {
+            task.instr += 1;
+            let b = task.regs.read(base)?.as_int()?;
+            let off = task.read_operand(offset)?.as_int()?;
+            let v = stores.heap.load(b, off)?;
+            task.regs.write(dst, Value::Int(v));
+        }
+        Instr::HStore { base, offset, src } => {
+            task.instr += 1;
+            let b = task.regs.read(base)?.as_int()?;
+            let off = task.read_operand(offset)?.as_int()?;
+            let v = task.read_operand(src)?.as_int()?;
+            stores.heap.store(b, off, v)?;
+        }
+        Instr::Halt
+        | Instr::Fork { .. }
+        | Instr::Join { .. }
+        | Instr::JrAlloc { .. }
+        | Instr::SNew { .. }
+        | Instr::HAlloc { .. } => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Why [`run_task_until`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPause {
+    /// `max_steps` instructions were executed.
+    Quantum,
+    /// The *next* instruction is a scheduling or allocation boundary
+    /// (`halt`, `fork`, `join`, `jralloc`, `snew`, `halloc`); it was not
+    /// executed. The caller should run it with [`step_task`].
+    Boundary,
+    /// `watch_promotion` was set and the task arrived at the entry of a
+    /// promotion-ready block; nothing at that point was executed. The
+    /// caller should deliver the pending heartbeat
+    /// ([`TaskState::divert_to_handler`]).
+    PromotionReady,
+}
+
+/// Executes a run of consecutive plain instructions of `task`, stopping
+/// early at scheduling-relevant points.
+///
+/// Semantically identical to calling [`step_task`] in a loop, but without
+/// the per-instruction outcome dispatch — executors use it to batch the
+/// long straight-line stretches between forks, joins and heartbeats. The
+/// run ends when, in priority order:
+///
+/// 1. `watch_promotion` is set and the task sits at a promotion-ready
+///    block entry ([`RunPause::PromotionReady`]) — checked *before* each
+///    instruction, so a pending heartbeat is delivered at exactly the
+///    program point where [`step_task`]-per-cycle execution would deliver
+///    it;
+/// 2. the next instruction is a boundary ([`RunPause::Boundary`]) — it is
+///    left unexecuted for the caller;
+/// 3. `max_steps` instructions have run ([`RunPause::Quantum`]).
+///
+/// Returns the number of instructions executed (each counted in the
+/// task's cycle/work/span/cost counters exactly as [`step_task`] counts
+/// them) and the reason for stopping.
+///
+/// # Errors
+///
+/// Any [`MachineError`] raised by a transition rule; counters include the
+/// faulting instruction, matching [`step_task`].
+pub fn run_task_until(
+    program: &Program,
+    task: &mut TaskState,
+    stores: &mut Stores,
+    max_steps: u64,
+    watch_promotion: bool,
+) -> Result<(u64, RunPause), MachineError> {
+    // The block lookup is hoisted out of the loop: a plain instruction
+    // changes `task.block` only through a jump, so the instruction slice
+    // is reloaded only when the label actually changes. Counters are
+    // batched into one addition per run (no plain instruction reads
+    // them), keeping the hot loop to fetch + dispatch.
+    let mut steps = 0u64;
+    let mut cur = task.block;
+    let mut instrs: &[Instr] = &program.block(cur).instrs;
+    let result = loop {
+        if steps >= max_steps {
+            break Ok(RunPause::Quantum);
+        }
+        if task.block != cur {
+            cur = task.block;
+            instrs = &program.block(cur).instrs;
+        }
+        if watch_promotion && task.instr == 0 && program.block(cur).annotation.handler().is_some() {
+            break Ok(RunPause::PromotionReady);
+        }
+        match exec_plain(task, stores, &instrs[task.instr]) {
+            Ok(true) => steps += 1,
+            Ok(false) => break Ok(RunPause::Boundary),
+            Err(e) => {
+                // The faulting instruction counts, as in `step_task`.
+                steps += 1;
+                break Err(e);
+            }
+        }
+    };
+    task.cycles += steps;
+    task.rel_work += steps;
+    task.rel_span += steps;
+    if let Some(c) = &mut task.cost {
+        c.steps += steps;
+    }
+    result.map(|pause| (steps, pause))
+}
+
 /// Executes one instruction of `task`.
 ///
 /// Increments the task's cycle and cost counters, then applies the
@@ -307,41 +512,23 @@ pub fn step_task(
 
     let block = program.block(task.block);
     let instr = block.instrs[task.instr];
-    // Optimistically advance; jumps overwrite this.
-    task.instr += 1;
 
+    // Each arm advances past the instruction first; jumps overwrite the
+    // position. (Plain instructions advance inside `exec_plain`.)
     match instr {
-        Instr::Move { dst, src } => {
-            let v = task.read_operand(src)?;
-            task.regs.write(dst, v);
-            Ok(StepOutcome::Ran)
+        Instr::Halt => {
+            task.instr += 1;
+            Ok(StepOutcome::Halted)
         }
-        Instr::Op { dst, op, lhs, rhs } => {
-            let l = task.regs.read(lhs)?;
-            let r = task.read_operand(rhs)?;
-            task.regs.write(dst, eval_binop(op, l, r)?);
-            Ok(StepOutcome::Ran)
-        }
-        Instr::IfJump { cond, target } => {
-            if task.regs.read(cond)?.is_true() {
-                let l = task.jump_target(target)?;
-                task.goto(l);
-            }
-            Ok(StepOutcome::Ran)
-        }
-        Instr::Jump { target } => {
-            let l = task.jump_target(target)?;
-            task.goto(l);
-            Ok(StepOutcome::Ran)
-        }
-        Instr::Halt => Ok(StepOutcome::Halted),
         Instr::JrAlloc { dst, cont } => {
+            task.instr += 1;
             let l = task.jump_target(cont)?;
             let j = stores.joins.alloc(l);
             task.regs.write(dst, Value::Join(j));
             Ok(StepOutcome::Ran)
         }
         Instr::Fork { jr, target } => {
+            task.instr += 1;
             let j = task.regs.read(jr)?.as_join()?;
             let l = task.jump_target(target)?;
             let current = task.assoc(j).unwrap_or(Assoc::Root);
@@ -374,61 +561,18 @@ pub fn step_task(
             })
         }
         Instr::Join { jr } => {
+            task.instr += 1;
             let j = task.regs.read(jr)?.as_join()?;
             Ok(StepOutcome::Joined { jr: j })
         }
         Instr::SNew { dst } => {
+            task.instr += 1;
             let sp = stores.stacks.snew();
             task.regs.write(dst, Value::Stack(sp));
             Ok(StepOutcome::Ran)
         }
-        Instr::SAlloc { sp, n } => {
-            let cur = task.stack_reg(sp)?;
-            let new = stores.stacks.salloc(cur, n)?;
-            task.regs.write(sp, Value::Stack(new));
-            Ok(StepOutcome::Ran)
-        }
-        Instr::SFree { sp, n } => {
-            let cur = task.stack_reg(sp)?;
-            let new = stores.stacks.sfree(cur, n)?;
-            task.regs.write(sp, Value::Stack(new));
-            Ok(StepOutcome::Ran)
-        }
-        Instr::Load { dst, addr } => {
-            let sp = task.stack_reg(addr.base)?;
-            let v = stores.stacks.load(sp, addr.offset)?;
-            task.regs.write(dst, v);
-            Ok(StepOutcome::Ran)
-        }
-        Instr::Store { addr, src } => {
-            let sp = task.stack_reg(addr.base)?;
-            let v = task.read_operand(src)?;
-            stores.stacks.store(sp, addr.offset, v)?;
-            Ok(StepOutcome::Ran)
-        }
-        Instr::PrmPush { addr } => {
-            let sp = task.stack_reg(addr.base)?;
-            stores.stacks.prmpush(sp, addr.offset)?;
-            Ok(StepOutcome::Ran)
-        }
-        Instr::PrmPop { addr } => {
-            let sp = task.stack_reg(addr.base)?;
-            stores.stacks.prmpop(sp, addr.offset)?;
-            Ok(StepOutcome::Ran)
-        }
-        Instr::PrmEmpty { dst, sp } => {
-            let spv = task.stack_reg(sp)?;
-            let v = stores.stacks.prmempty(spv)?;
-            task.regs.write(dst, v);
-            Ok(StepOutcome::Ran)
-        }
-        Instr::PrmSplit { sp, dst } => {
-            let spv = task.stack_reg(sp)?;
-            let off = stores.stacks.prmsplit(spv)?;
-            task.regs.write(dst, Value::Int(off));
-            Ok(StepOutcome::Ran)
-        }
         Instr::HAlloc { dst, size } => {
+            task.instr += 1;
             let n = task.read_operand(size)?.as_int()?;
             if n < 0 {
                 return Err(MachineError::HeapOutOfRange { addr: n });
@@ -437,18 +581,8 @@ pub fn step_task(
             task.regs.write(dst, Value::Int(base));
             Ok(StepOutcome::Ran)
         }
-        Instr::HLoad { dst, base, offset } => {
-            let b = task.regs.read(base)?.as_int()?;
-            let off = task.read_operand(offset)?.as_int()?;
-            let v = stores.heap.load(b, off)?;
-            task.regs.write(dst, Value::Int(v));
-            Ok(StepOutcome::Ran)
-        }
-        Instr::HStore { base, offset, src } => {
-            let b = task.regs.read(base)?.as_int()?;
-            let off = task.read_operand(offset)?.as_int()?;
-            let v = task.read_operand(src)?.as_int()?;
-            stores.heap.store(b, off, v)?;
+        ref plain => {
+            exec_plain(task, stores, plain)?;
             Ok(StepOutcome::Ran)
         }
     }

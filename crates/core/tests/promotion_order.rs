@@ -28,8 +28,18 @@ fn run(program: &Program, heartbeat: u64, order: PromotionOrder, args: &[(&str, 
 fn prod_result_is_order_independent() {
     let program = programs::prod();
     for hb in [8, 32, 128] {
-        let old = run(&program, hb, PromotionOrder::OldestFirst, &[("a", 7), ("b", 400)]);
-        let new = run(&program, hb, PromotionOrder::NewestFirst, &[("a", 7), ("b", 400)]);
+        let old = run(
+            &program,
+            hb,
+            PromotionOrder::OldestFirst,
+            &[("a", 7), ("b", 400)],
+        );
+        let new = run(
+            &program,
+            hb,
+            PromotionOrder::NewestFirst,
+            &[("a", 7), ("b", 400)],
+        );
         assert_eq!(old.read_reg("c"), Some(2800));
         assert_eq!(new.read_reg("c"), Some(2800));
         // A flat loop exposes one mark at a time: identical schedules.

@@ -1,0 +1,562 @@
+//! Offline shim for `proptest`: a compact property-testing framework
+//! implementing the API subset this workspace's tests use.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! replaces the real `proptest`. It generates random values through the
+//! same [`Strategy`] combinator vocabulary (`prop_map`,
+//! `prop_recursive`, `prop_oneof!`, `collection::vec`,
+//! `sample::select`, ranges, tuples, `Just`, `any`) and runs each
+//! property over a configurable number of deterministic cases. What it
+//! deliberately omits is shrinking: a failing case is reported with its
+//! case number so it can be replayed (generation is a pure function of
+//! the fixed seed and case order), but it is not minimised.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Deterministic generator state (SplitMix64) used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The fixed-seed generator every `proptest!` block starts from, so
+    /// failures are replayable run to run.
+    pub fn deterministic() -> TestRng {
+        TestRng {
+            state: 0xC0FF_EE11_D00D_F00D,
+        }
+    }
+
+    /// A generator with an explicit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `f` wraps an
+    /// inner strategy into one more level, up to `depth` levels.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let leaf = base.clone();
+            let deeper = f(current.clone()).boxed();
+            current = BoxedStrategy::new(move |rng| {
+                // Recurse half the time, so expected depth stays small
+                // while full depth remains reachable.
+                if rng.below(2) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy::new(|rng| T::arbitrary(rng))
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Weighted union of type-erased strategies; the backing of
+/// [`prop_oneof!`].
+pub fn union<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    BoxedStrategy::new(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, s) in &arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight accounting")
+    })
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// `Vec` strategy with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy {
+            element,
+            lo: size.start,
+            hi: size.end,
+        }
+    }
+
+    /// Strategy for vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                lo: self.lo,
+                hi: self.hi,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{BoxedStrategy, TestRng};
+
+    /// Uniformly selects one element of `items`.
+    pub fn select<T, S>(items: S) -> BoxedStrategy<T>
+    where
+        T: Clone + 'static,
+        S: AsRef<[T]>,
+    {
+        let owned: Vec<T> = items.as_ref().to_vec();
+        assert!(!owned.is_empty(), "select over an empty slice");
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            owned[rng.below(owned.len() as u64) as usize].clone()
+        })
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; these shim-driven suites run whole
+        // simulations per case, so a leaner default keeps `cargo test`
+        // fast. Blocks that need more ask via `with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion, carried out of the test body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Everything a test file conventionally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Weighted or uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::union(vec![
+            $( ($weight as u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(vec![
+            $( (1u32, $crate::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Asserts inside a property body; failure aborts only this case's body
+/// with a report, like the real macro (minus shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq! failed: `{:?}` != `{:?}` {}",
+                left,
+                right,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne! failed: both `{:?}` {}",
+                left,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Declares property test functions whose arguments are drawn from
+/// strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn tree_strategy() -> BoxedStrategy<Tree> {
+        let leaf = (-10i64..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -50i64..50, y in 3usize..9, z in 1u32..=4) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((3..9).contains(&y), "y = {}", y);
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in crate::collection::vec(0i64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len = {}", v.len());
+            for x in v {
+                prop_assert!((0..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn select_only_yields_members(c in crate::sample::select(&["a", "b", "c"][..])) {
+            prop_assert!(["a", "b", "c"].contains(&c));
+        }
+
+        #[test]
+        fn oneof_weights_and_just(op in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(op == 1 || op == 2);
+        }
+
+        #[test]
+        fn recursion_is_bounded(t in tree_strategy()) {
+            prop_assert!(depth(&t) <= 4, "depth = {}", depth(&t));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (any::<u16>(), -3i64..3)) {
+            let (_a, b) = pair;
+            prop_assert!((-3..3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = tree_strategy();
+        let mut r1 = crate::TestRng::deterministic();
+        let mut r2 = crate::TestRng::deterministic();
+        use crate::Strategy;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            #[allow(unused)]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x < 0, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

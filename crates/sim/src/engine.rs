@@ -1,9 +1,27 @@
 //! The discrete-event multicore engine.
+//!
+//! [`Sim`] replaces the original cycle-tick loop (preserved as
+//! [`SimRef`](crate::SimRef)) with a discrete-event formulation: a
+//! binary-heap event queue orders interrupt deliveries and core actions
+//! by `(time, phase, core)`, and between scheduling-relevant boundaries
+//! each core executes whole *runs* of straight-line instructions in one
+//! [`run_task_until`] call instead of one `step_task` round-trip per
+//! cycle. Simulated time jumps from event to event, so the cost of a run
+//! is O(instructions + events·log events) rather than
+//! O(makespan × cores).
+//!
+//! The two engines are observably equivalent — identical makespan,
+//! [`SimStats`], and final registers for every program × configuration ×
+//! seed — which the `engine_equivalence` differential suite enforces.
+//! See `DESIGN.md` for the equivalence argument.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use tpal_core::isa::Reg;
 use tpal_core::machine::{
-    resolve_join, step_task, JoinResolution, MachineError, PromotionOrder, StepOutcome, Stores,
-    TaskState, Value,
+    resolve_join, run_task_until, step_task, JoinResolution, MachineError, PromotionOrder,
+    RunPause, StepOutcome, Stores, TaskState, Value,
 };
 use tpal_core::program::Program;
 
@@ -165,7 +183,7 @@ pub struct SimOutcome {
     /// Per-core activity timeline, when
     /// [`SimConfig::record_timeline`] was set.
     pub timeline: Option<Timeline>,
-    final_regs: Vec<(String, Value)>,
+    pub(crate) final_regs: Vec<(String, Value)>,
 }
 
 impl SimOutcome {
@@ -183,6 +201,11 @@ impl SimOutcome {
         })
     }
 
+    /// All named registers of the halting task, in declaration order.
+    pub fn final_regs(&self) -> &[(String, Value)] {
+        &self.final_regs
+    }
+
     /// Utilization: the fraction of core-cycles spent on useful work
     /// (Figure 15b).
     pub fn utilization(&self) -> f64 {
@@ -192,11 +215,14 @@ impl SimOutcome {
     /// The heartbeat rate actually achieved, as a fraction of the target
     /// rate `cores / ♥` (Figure 10).
     pub fn heartbeat_rate_achieved(&self) -> f64 {
-        let target = (self.time / self.heartbeat.max(1)) * self.cores as u64;
-        if target == 0 {
+        // Computed in f64: the old integer form `(time / ♥) * cores`
+        // truncated time/♥ downward, overstating the achieved fraction
+        // for runs that are not a whole number of beats long.
+        let target = (self.time as f64 / self.heartbeat.max(1) as f64) * self.cores as f64;
+        if target == 0.0 {
             return 1.0;
         }
-        self.stats.heartbeats_delivered as f64 / target as f64
+        self.stats.heartbeats_delivered as f64 / target
     }
 
     /// The parallelism actually realised: instruction cycles divided by
@@ -213,6 +239,30 @@ struct Core {
     busy_until: u64,
     hb_flag: bool,
     next_hb: u64,
+}
+
+/// A scheduled event, ordered by `(time, phase, core)` so that the heap
+/// replays exactly the order the cycle-tick reference visits things
+/// within one cycle: first interrupt delivery (phase 0), then the cores
+/// in index order (phase 1). Matching that order is what keeps the RNG
+/// stream (ping jitter before same-cycle steals, steals by core index)
+/// and all shared-store effects identical to [`SimRef`](crate::SimRef).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    phase: u8,
+    core: u32,
+}
+
+const PHASE_INTERRUPT: u8 = 0;
+const PHASE_ACTION: u8 = 1;
+
+fn push_action(queue: &mut BinaryHeap<Reverse<Event>>, core: usize, time: u64) {
+    queue.push(Reverse(Event {
+        time,
+        phase: PHASE_ACTION,
+        core: core as u32,
+    }));
 }
 
 /// The multicore simulator. Mirrors the [`tpal_core::machine::Machine`]
@@ -297,57 +347,179 @@ impl<'p> Sim<'p> {
             .collect();
         cores[0].current = Some(self.initial.take().expect("simulation already run"));
 
-        // Ping-thread signaller state.
+        // Ping-thread signaller state. Unlike the reference (which tests
+        // `now >= ping_next_time` once per cycle), `ping_next_time` here
+        // is always the exact cycle of the next delivery, i.e. already
+        // clamped to be strictly after the previous one.
         let mut ping_next_core: usize = 0;
-        let mut ping_next_time: u64 = cfg.heartbeat;
+        let mut ping_next_time: u64 = cfg.heartbeat.max(1);
         let mut ping_round_start: u64 = cfg.heartbeat;
 
-        let mut now: u64 = 0;
-        #[allow(unused_assignments)]
-        let mut halted: Option<TaskState> = None;
         let mut live_tasks: usize = 1;
+        // Tasks sitting in deques right now. Zero means every steal
+        // attempt is a forced failure, which licenses parking (below).
+        let mut queued: usize = 0;
+        // Parked cores: idle cores fast-forwarded through forced-failure
+        // steal retries. A parked core keeps no action event in the
+        // queue; `busy_until` holds its next *not yet counted* retry
+        // time, and `flush_parked!` settles the retries lazily.
+        let mut parked: Vec<bool> = vec![false; cfg.cores];
+        let mut parked_count: usize = 0;
         let mut timeline = if cfg.record_timeline {
             Some(Timeline::new(cfg.cores, (cfg.heartbeat / 2).max(64)))
         } else {
             None
         };
         macro_rules! trace {
-            ($core:expr, $kind:expr, $cycles:expr) => {
+            ($core:expr, $time:expr, $kind:expr, $cycles:expr) => {
                 if let Some(tl) = &mut timeline {
-                    tl.record($core, now, $kind, $cycles);
+                    tl.record($core, $time, $kind, $cycles);
                 }
             };
         }
 
-        'sim: loop {
-            now += 1;
-
-            // Interrupt delivery.
-            match cfg.interrupt {
-                InterruptModel::PerCoreTimer { service_cost } => {
-                    for (ci, core) in cores.iter_mut().enumerate() {
-                        if now >= core.next_hb {
-                            core.hb_flag = true;
-                            core.next_hb += cfg.heartbeat;
-                            core.busy_until = core.busy_until.max(now) + service_cost;
-                            stats.heartbeats_delivered += 1;
-                            stats.overhead_cycles += service_cost;
-                            trace!(ci, Activity::Overhead, service_cost);
+        // Settles core `$p`'s pending retries at virtual times strictly
+        // before `$bound`. Each settled retry charges the same counters
+        // and timeline record as a live failed steal and advances the RNG
+        // stream by one draw — the drawn victim is unobservable (every
+        // deque is empty while any core is parked), but the stream
+        // position is, hence the O(1) `skip`.
+        macro_rules! flush_one {
+            ($p:expr, $bound:expr) => {
+                let next = cores[$p].busy_until;
+                if next < $bound {
+                    let retry = cfg.steal_retry_cost;
+                    let k = ($bound - 1 - next) / retry + 1;
+                    rng.skip(k);
+                    stats.failed_steals += k;
+                    stats.idle_cycles += k * retry;
+                    if let Some(tl) = &mut timeline {
+                        for i in 0..k {
+                            tl.record($p, next + i * retry, Activity::Idle, retry);
                         }
                     }
+                    cores[$p].busy_until = next + k * retry;
                 }
-                InterruptModel::PingThread {
-                    latency,
-                    jitter,
-                    service_cost,
-                } => {
-                    if now >= ping_next_time {
-                        let core = &mut cores[ping_next_core];
+            };
+        }
+
+        // Settles every parked core's pending retries that virtually
+        // precede event `$ev`. A retry of core `p` occupies queue
+        // position `(t, PHASE_ACTION, p)`, so it precedes the event if
+        // `t < $ev.time`, or at `t == $ev.time` when the event is a later
+        // core's action (the reference scans cores in index order within
+        // a cycle).
+        //
+        // Settling is *deferred*: while cores are parked no RNG draw can
+        // happen (steal draws require work in a deque, which would have
+        // unparked everyone), so pure skips commute past every other
+        // event. Flushing is needed only where the chains become
+        // observable — before a ping delivery (its jitter draw must land
+        // at the right stream position, and the receiving core's chain
+        // shifts), at a fork (the chains go live again), at `halt` (the
+        // counters become the outcome), and, per core, when a timer
+        // interrupt shifts that one chain (see flush_one! at the timer
+        // arm).
+        macro_rules! flush_parked {
+            ($ev:expr) => {
+                if parked_count > 0 {
+                    for p in 0..cfg.cores {
+                        if !parked[p] {
+                            continue;
+                        }
+                        let bound = if $ev.phase == PHASE_ACTION && (p as u32) < $ev.core {
+                            $ev.time + 1
+                        } else {
+                            $ev.time
+                        };
+                        flush_one!(p, bound);
+                    }
+                }
+            };
+        }
+
+        // Seed the queue: every core attempts an action on cycle 1 (the
+        // reference's first tick), and the interrupt source fires its
+        // first delivery chain.
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        for c in 0..cfg.cores {
+            push_action(&mut queue, c, 1);
+        }
+        match cfg.interrupt {
+            InterruptModel::PerCoreTimer { .. } => {
+                for (c, core) in cores.iter().enumerate() {
+                    queue.push(Reverse(Event {
+                        time: core.next_hb.max(1),
+                        phase: PHASE_INTERRUPT,
+                        core: c as u32,
+                    }));
+                }
+            }
+            InterruptModel::PingThread { .. } => {
+                queue.push(Reverse(Event {
+                    time: ping_next_time,
+                    phase: PHASE_INTERRUPT,
+                    core: ping_next_core as u32,
+                }));
+            }
+            InterruptModel::Disabled => {}
+        }
+
+        let halted: TaskState;
+        let end_time: u64;
+
+        'sim: loop {
+            // The queue can only drain before `halt` if interrupts are
+            // disabled and every core is parked on an empty system — no
+            // event can ever create work again. (The reference spins
+            // forever on that degenerate program; an error is strictly
+            // more useful.)
+            let Some(Reverse(ev)) = queue.pop() else {
+                return Err(MachineError::Deadlock);
+            };
+            let now = ev.time;
+
+            if ev.phase == PHASE_INTERRUPT {
+                match cfg.interrupt {
+                    InterruptModel::PerCoreTimer { service_cost } => {
+                        let ci = ev.core as usize;
+                        if parked[ci] {
+                            // The shift below applies to the retry
+                            // pending at delivery time; settle the
+                            // earlier ones first.
+                            flush_one!(ci, now);
+                        }
+                        let core = &mut cores[ci];
+                        core.hb_flag = true;
+                        core.next_hb += cfg.heartbeat;
+                        core.busy_until = core.busy_until.max(now) + service_cost;
+                        stats.heartbeats_delivered += 1;
+                        stats.overhead_cycles += service_cost;
+                        trace!(ci, now, Activity::Overhead, service_cost);
+                        queue.push(Reverse(Event {
+                            // `.max(now + 1)`: with ♥ = 0 the reference
+                            // still delivers at most once per cycle.
+                            time: core.next_hb.max(now + 1),
+                            phase: PHASE_INTERRUPT,
+                            core: ev.core,
+                        }));
+                    }
+                    InterruptModel::PingThread {
+                        latency,
+                        jitter,
+                        service_cost,
+                    } => {
+                        // The jitter draw below must land at the right
+                        // stream position, and the receiving core's
+                        // chain shifts: settle all pending retries now.
+                        flush_parked!(ev);
+                        let ci = ping_next_core;
+                        let core = &mut cores[ci];
                         core.hb_flag = true;
                         core.busy_until = core.busy_until.max(now) + service_cost;
                         stats.heartbeats_delivered += 1;
                         stats.overhead_cycles += service_cost;
-                        trace!(ping_next_core, Activity::Overhead, service_cost);
+                        trace!(ci, now, Activity::Overhead, service_cost);
                         let delay = latency + if jitter > 0 { rng.below(jitter + 1) } else { 0 };
                         ping_next_core += 1;
                         if ping_next_core == cfg.cores {
@@ -358,112 +530,133 @@ impl<'p> Sim<'p> {
                         } else {
                             ping_next_time = now + delay;
                         }
+                        // One delivery per cycle, as in the reference.
+                        ping_next_time = ping_next_time.max(now + 1);
+                        queue.push(Reverse(Event {
+                            time: ping_next_time,
+                            phase: PHASE_INTERRUPT,
+                            core: ping_next_core as u32,
+                        }));
                     }
+                    InterruptModel::Disabled => unreachable!("no interrupt source armed"),
                 }
-                InterruptModel::Disabled => {}
+                continue;
             }
 
-            let mut all_idle = true;
-            for c in 0..cfg.cores {
-                if cores[c].busy_until > now {
-                    all_idle = false;
-                    continue;
-                }
-                // Acquire work if idle.
-                if cores[c].current.is_none() {
-                    if let Some(t) = cores[c].deque.pop_back() {
-                        cores[c].current = Some(t);
-                    } else if cfg.cores > 1 {
-                        // Randomized steal from another core's top.
-                        let victim = (c + 1 + rng.below(cfg.cores as u64 - 1) as usize) % cfg.cores;
-                        let stolen = cores[victim].deque.pop_front();
-                        match stolen {
-                            Some(t) => {
-                                cores[c].current = Some(t);
-                                cores[c].busy_until = now + cfg.steal_cost;
-                                stats.steals += 1;
-                                stats.overhead_cycles += cfg.steal_cost;
-                                trace!(c, Activity::Overhead, cfg.steal_cost);
-                                all_idle = false;
-                                continue;
-                            }
-                            None => {
-                                cores[c].busy_until = now + cfg.steal_retry_cost;
-                                stats.failed_steals += 1;
-                                stats.idle_cycles += cfg.steal_retry_cost;
-                                trace!(c, Activity::Idle, cfg.steal_retry_cost);
-                                continue;
-                            }
-                        }
-                    } else {
-                        stats.idle_cycles += 1;
-                        trace!(c, Activity::Idle, 1);
+            // Core action. Exactly one action event is outstanding per
+            // core; if an interrupt pushed the core's busy horizon past
+            // the scheduled time, re-arm at the new horizon.
+            let c = ev.core as usize;
+            if cores[c].busy_until > now {
+                push_action(&mut queue, c, cores[c].busy_until);
+                continue;
+            }
+
+            // Acquire work if idle.
+            if cores[c].current.is_none() {
+                if let Some(t) = cores[c].deque.pop_back() {
+                    // Own pop is free; the task runs this very cycle.
+                    queued -= 1;
+                    cores[c].current = Some(t);
+                } else if cfg.cores > 1 {
+                    if queued == 0 && cfg.steal_retry_cost > 0 {
+                        // Every deque is empty: this attempt and every
+                        // retry until a fork pushes work are forced
+                        // failures. Park instead of simulating them —
+                        // the retry chain (starting with this attempt,
+                        // at `now`) is settled lazily by flush_parked!,
+                        // and interrupts shift `busy_until` exactly as
+                        // they would the live chain. The Forked arm
+                        // re-arms parked cores.
+                        parked[c] = true;
+                        parked_count += 1;
+                        cores[c].busy_until = now;
                         continue;
                     }
-                }
-                all_idle = false;
-
-                let mut task = cores[c].current.take().expect("task present");
-
-                // Pending heartbeat: serviced at the next promotion-ready
-                // program point (rollforward semantics).
-                if cores[c].hb_flag {
-                    if let Some(handler) = task.at_promotion_point(self.program) {
-                        task.divert_to_handler(handler);
-                        cores[c].hb_flag = false;
-                        stats.promotions += 1;
-                    }
-                }
-
-                match step_task(self.program, &mut task, &mut self.stores)? {
-                    StepOutcome::Ran => {
-                        stats.instructions += 1;
-                        stats.work_cycles += 1;
-                        trace!(c, Activity::Work, 1);
-                        cores[c].busy_until = now + 1;
-                        cores[c].current = Some(task);
-                    }
-                    StepOutcome::Halted => {
-                        stats.instructions += 1;
-                        stats.work_cycles += 1;
-                        trace!(c, Activity::Work, 1);
-                        halted = Some(task);
-                        break 'sim;
-                    }
-                    StepOutcome::Forked { child } => {
-                        stats.instructions += 1;
-                        stats.work_cycles += 1;
-                        trace!(c, Activity::Work, 1);
-                        trace!(c, Activity::Overhead, cfg.fork_cost);
-                        stats.forks += 1;
-                        cores[c].deque.push_back(*child);
-                        cores[c].busy_until = now + 1 + cfg.fork_cost;
-                        stats.overhead_cycles += cfg.fork_cost;
-                        cores[c].current = Some(task);
-                        live_tasks += 1;
-                        stats.max_live_tasks = stats.max_live_tasks.max(live_tasks);
-                    }
-                    StepOutcome::Joined { jr } => {
-                        stats.instructions += 1;
-                        stats.work_cycles += 1;
-                        trace!(c, Activity::Work, 1);
-                        trace!(c, Activity::Overhead, cfg.join_cost);
-                        stats.joins += 1;
-                        cores[c].busy_until = now + 1 + cfg.join_cost;
-                        stats.overhead_cycles += cfg.join_cost;
-                        match resolve_join(self.program, task, jr, &mut self.stores, 0)? {
-                            JoinResolution::TaskDied => {
-                                live_tasks -= 1;
-                            }
-                            JoinResolution::Merged(t) => {
-                                stats.merges += 1;
-                                cores[c].current = Some(*t);
-                            }
-                            JoinResolution::Completed(t) => {
-                                cores[c].current = Some(*t);
+                    // Randomized steal from another core's top.
+                    let victim = (c + 1 + rng.below(cfg.cores as u64 - 1) as usize) % cfg.cores;
+                    let stolen = cores[victim].deque.pop_front();
+                    match stolen {
+                        Some(t) => {
+                            queued -= 1;
+                            cores[c].current = Some(t);
+                            cores[c].busy_until = now + cfg.steal_cost;
+                            stats.steals += 1;
+                            stats.overhead_cycles += cfg.steal_cost;
+                            trace!(c, now, Activity::Overhead, cfg.steal_cost);
+                        }
+                        None => {
+                            cores[c].busy_until = now + cfg.steal_retry_cost;
+                            stats.failed_steals += 1;
+                            stats.idle_cycles += cfg.steal_retry_cost;
+                            trace!(c, now, Activity::Idle, cfg.steal_retry_cost);
+                            // With a zero retry cost the reference's
+                            // end-of-cycle starvation check can fire (all
+                            // cores free, empty, and idle this cycle);
+                            // with a positive cost the freshly charged
+                            // `busy_until` always defeats it there too.
+                            if cfg.steal_retry_cost == 0
+                                && cores.iter().all(|k| {
+                                    k.current.is_none() && k.deque.is_empty() && k.busy_until <= now
+                                })
+                            {
+                                return Err(MachineError::Deadlock);
                             }
                         }
                     }
+                    // A core acts at most once per cycle.
+                    push_action(&mut queue, c, cores[c].busy_until.max(now + 1));
+                    continue;
+                } else {
+                    // Single core, nothing runnable, nothing queued: no
+                    // task can ever appear again. (The reference charges
+                    // one idle cycle first, but the error discards the
+                    // outcome, so nothing observable is lost.)
+                    return Err(MachineError::Deadlock);
+                }
+            }
+
+            let mut task = cores[c].current.take().expect("task present");
+
+            // Pending heartbeat: serviced at the next promotion-ready
+            // program point (rollforward semantics).
+            if cores[c].hb_flag {
+                if let Some(handler) = task.at_promotion_point(self.program) {
+                    task.divert_to_handler(handler);
+                    cores[c].hb_flag = false;
+                    stats.promotions += 1;
+                }
+            }
+
+            // Batch horizon: this core cannot be re-flagged before its
+            // own next timer tick (PerCoreTimer) or the signaller's next
+            // delivery to *anyone* (PingThread — conservative, since the
+            // chain's future targets depend on jitter draws that must
+            // stay in delivery order). Interrupts at the horizon sort
+            // before the follow-up action, so the flag is seen then.
+            let horizon = match cfg.interrupt {
+                InterruptModel::PerCoreTimer { .. } => cores[c].next_hb.max(now + 1),
+                InterruptModel::PingThread { .. } => ping_next_time.max(now + 1),
+                InterruptModel::Disabled => u64::MAX,
+            };
+            let allowed = cfg
+                .step_limit
+                .saturating_add(1)
+                .saturating_sub(stats.instructions);
+            let max_steps = (horizon - now).min(allowed);
+
+            let (steps, pause) = run_task_until(
+                self.program,
+                &mut task,
+                &mut self.stores,
+                max_steps,
+                cores[c].hb_flag,
+            )?;
+            if steps > 0 {
+                stats.instructions += steps;
+                stats.work_cycles += steps;
+                if let Some(tl) = &mut timeline {
+                    tl.record_span(c, now, Activity::Work, steps);
                 }
                 if stats.instructions > cfg.step_limit {
                     return Err(MachineError::StepLimitExceeded {
@@ -472,17 +665,115 @@ impl<'p> Sim<'p> {
                 }
             }
 
-            if all_idle
-                && cores
-                    .iter()
-                    .all(|c| c.current.is_none() && c.deque.is_empty())
-                && cores.iter().all(|c| c.busy_until <= now)
-            {
-                return Err(MachineError::Deadlock);
+            match pause {
+                RunPause::Quantum | RunPause::PromotionReady => {
+                    // Re-assess at the end of the run: the pending
+                    // interrupt (Quantum) or the handler diversion
+                    // (PromotionReady) happens on the next action.
+                    cores[c].busy_until = now + steps;
+                    cores[c].current = Some(task);
+                    push_action(&mut queue, c, now + steps);
+                }
+                RunPause::Boundary if steps > 0 => {
+                    // The boundary instruction must execute at its own
+                    // virtual time: deque pushes, join-store transitions
+                    // and allocations are globally ordered against other
+                    // cores' events in (now, now + steps].
+                    cores[c].busy_until = now + steps;
+                    cores[c].current = Some(task);
+                    push_action(&mut queue, c, now + steps);
+                }
+                RunPause::Boundary => {
+                    // The very next instruction is the boundary: execute
+                    // it this cycle, exactly as the reference does.
+                    match step_task(self.program, &mut task, &mut self.stores)? {
+                        StepOutcome::Ran => {
+                            // jralloc / snew / halloc.
+                            stats.instructions += 1;
+                            stats.work_cycles += 1;
+                            trace!(c, now, Activity::Work, 1);
+                            cores[c].busy_until = now + 1;
+                            cores[c].current = Some(task);
+                            push_action(&mut queue, c, now + 1);
+                        }
+                        StepOutcome::Halted => {
+                            stats.instructions += 1;
+                            stats.work_cycles += 1;
+                            trace!(c, now, Activity::Work, 1);
+                            // The counters become the outcome: settle
+                            // every parked core's retries up to the
+                            // halt (earlier cores' attempts this very
+                            // cycle included, as in the reference's
+                            // in-order scan).
+                            flush_parked!(ev);
+                            halted = task;
+                            end_time = now;
+                            break 'sim;
+                        }
+                        StepOutcome::Forked { child } => {
+                            stats.instructions += 1;
+                            stats.work_cycles += 1;
+                            trace!(c, now, Activity::Work, 1);
+                            trace!(c, now, Activity::Overhead, cfg.fork_cost);
+                            stats.forks += 1;
+                            cores[c].deque.push_back(*child);
+                            queued += 1;
+                            // Work exists again: settle every parked
+                            // core's retries that precede this fork,
+                            // then re-arm each at its next pending
+                            // retry. Cores after this one in index
+                            // order may retry at this very cycle and
+                            // see the new task, exactly as the
+                            // reference's in-cycle scan does.
+                            if parked_count > 0 {
+                                flush_parked!(ev);
+                                for p in 0..cfg.cores {
+                                    if parked[p] {
+                                        parked[p] = false;
+                                        push_action(&mut queue, p, cores[p].busy_until);
+                                    }
+                                }
+                                parked_count = 0;
+                            }
+                            cores[c].busy_until = now + 1 + cfg.fork_cost;
+                            stats.overhead_cycles += cfg.fork_cost;
+                            cores[c].current = Some(task);
+                            live_tasks += 1;
+                            stats.max_live_tasks = stats.max_live_tasks.max(live_tasks);
+                            push_action(&mut queue, c, cores[c].busy_until);
+                        }
+                        StepOutcome::Joined { jr } => {
+                            stats.instructions += 1;
+                            stats.work_cycles += 1;
+                            trace!(c, now, Activity::Work, 1);
+                            trace!(c, now, Activity::Overhead, cfg.join_cost);
+                            stats.joins += 1;
+                            cores[c].busy_until = now + 1 + cfg.join_cost;
+                            stats.overhead_cycles += cfg.join_cost;
+                            match resolve_join(self.program, task, jr, &mut self.stores, 0)? {
+                                JoinResolution::TaskDied => {
+                                    live_tasks -= 1;
+                                }
+                                JoinResolution::Merged(t) => {
+                                    stats.merges += 1;
+                                    cores[c].current = Some(*t);
+                                }
+                                JoinResolution::Completed(t) => {
+                                    cores[c].current = Some(*t);
+                                }
+                            }
+                            push_action(&mut queue, c, cores[c].busy_until);
+                        }
+                    }
+                    if stats.instructions > cfg.step_limit {
+                        return Err(MachineError::StepLimitExceeded {
+                            limit: cfg.step_limit,
+                        });
+                    }
+                }
             }
         }
 
-        let halted = halted.expect("loop exits via halt");
         let final_regs = (0..self.program.reg_count())
             .map(|i| {
                 let r = Reg::from_index(i);
@@ -491,7 +782,7 @@ impl<'p> Sim<'p> {
             .collect();
 
         Ok(SimOutcome {
-            time: now,
+            time: end_time,
             stats,
             cores: cfg.cores,
             heartbeat: cfg.heartbeat,

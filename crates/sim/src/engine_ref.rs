@@ -1,0 +1,318 @@
+//! The reference cycle-tick engine.
+//!
+//! [`SimRef`] is the original simulator loop, kept verbatim: it advances
+//! global time one cycle at a time, delivering interrupts and scanning
+//! every core each tick. It is O(makespan × cores) regardless of how much
+//! actually happens per cycle, which makes it too slow for full-scale
+//! experiments — but its semantics are trivially auditable against the
+//! paper's scheduling model, so it serves as the executable specification
+//! for the event-driven [`Sim`](crate::Sim): the
+//! `engine_equivalence` differential suite holds the two engines to
+//! identical outcomes (makespan, every counter, final registers) on every
+//! program × configuration × seed.
+
+use tpal_core::isa::Reg;
+use tpal_core::machine::{
+    resolve_join, step_task, JoinResolution, MachineError, StepOutcome, Stores, TaskState, Value,
+};
+use tpal_core::program::Program;
+
+use crate::engine::{InterruptModel, SimConfig, SimOutcome, SimStats};
+use crate::rng::SplitMix64;
+use crate::timeline::{Activity, Timeline};
+
+struct Core {
+    current: Option<TaskState>,
+    deque: std::collections::VecDeque<TaskState>,
+    busy_until: u64,
+    hb_flag: bool,
+    next_hb: u64,
+}
+
+/// The reference multicore simulator: one global tick per cycle.
+///
+/// Same public API and observable behaviour as [`Sim`](crate::Sim); see
+/// the module docs for why it is kept.
+pub struct SimRef<'p> {
+    program: &'p Program,
+    config: SimConfig,
+    stores: Stores,
+    initial: Option<TaskState>,
+}
+
+impl<'p> SimRef<'p> {
+    /// Creates a simulator whose initial task starts at the program's
+    /// entry block on core 0.
+    pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        assert!(config.cores > 0, "at least one core required");
+        let mut stores = Stores::new();
+        stores.stacks.set_promotion_order(config.promotion_order);
+        SimRef {
+            program,
+            config,
+            stores,
+            initial: Some(TaskState::new(program, program.entry())),
+        }
+    }
+
+    /// Seeds an integer argument register of the initial task.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownName`] if the program never names `name`.
+    pub fn set_reg(&mut self, name: &str, value: i64) -> Result<(), MachineError> {
+        let reg = self
+            .program
+            .reg(name)
+            .ok_or_else(|| MachineError::UnknownName {
+                name: name.to_owned(),
+            })?;
+        self.initial
+            .as_mut()
+            .expect("simulation already run")
+            .regs
+            .write(reg, Value::Int(value));
+        Ok(())
+    }
+
+    /// Allocates and initialises a heap array before the run.
+    pub fn alloc_array(&mut self, data: &[i64]) -> i64 {
+        self.stores.heap.alloc_init(data)
+    }
+
+    /// Allocates a zeroed heap array before the run.
+    pub fn alloc_zeroed(&mut self, len: usize) -> i64 {
+        self.stores.heap.alloc(len)
+    }
+
+    /// Read access to the heap (e.g. to extract output arrays after the
+    /// run).
+    pub fn heap(&self) -> &tpal_core::machine::Heap {
+        &self.stores.heap
+    }
+
+    /// Runs the simulation to `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] raised by a task, [`MachineError::Deadlock`]
+    /// if all cores go idle with no runnable task before a `halt`, or
+    /// [`MachineError::StepLimitExceeded`].
+    pub fn run(&mut self) -> Result<SimOutcome, MachineError> {
+        let cfg = self.config;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut stats = SimStats::default();
+        let mut cores: Vec<Core> = (0..cfg.cores)
+            .map(|_| Core {
+                current: None,
+                deque: std::collections::VecDeque::new(),
+                busy_until: 0,
+                hb_flag: false,
+                next_hb: cfg.heartbeat,
+            })
+            .collect();
+        cores[0].current = Some(self.initial.take().expect("simulation already run"));
+
+        // Ping-thread signaller state.
+        let mut ping_next_core: usize = 0;
+        let mut ping_next_time: u64 = cfg.heartbeat;
+        let mut ping_round_start: u64 = cfg.heartbeat;
+
+        let mut now: u64 = 0;
+        #[allow(unused_assignments)]
+        let mut halted: Option<TaskState> = None;
+        let mut live_tasks: usize = 1;
+        let mut timeline = if cfg.record_timeline {
+            Some(Timeline::new(cfg.cores, (cfg.heartbeat / 2).max(64)))
+        } else {
+            None
+        };
+        macro_rules! trace {
+            ($core:expr, $kind:expr, $cycles:expr) => {
+                if let Some(tl) = &mut timeline {
+                    tl.record($core, now, $kind, $cycles);
+                }
+            };
+        }
+
+        'sim: loop {
+            now += 1;
+
+            // Interrupt delivery.
+            match cfg.interrupt {
+                InterruptModel::PerCoreTimer { service_cost } => {
+                    for (ci, core) in cores.iter_mut().enumerate() {
+                        if now >= core.next_hb {
+                            core.hb_flag = true;
+                            core.next_hb += cfg.heartbeat;
+                            core.busy_until = core.busy_until.max(now) + service_cost;
+                            stats.heartbeats_delivered += 1;
+                            stats.overhead_cycles += service_cost;
+                            trace!(ci, Activity::Overhead, service_cost);
+                        }
+                    }
+                }
+                InterruptModel::PingThread {
+                    latency,
+                    jitter,
+                    service_cost,
+                } => {
+                    if now >= ping_next_time {
+                        let core = &mut cores[ping_next_core];
+                        core.hb_flag = true;
+                        core.busy_until = core.busy_until.max(now) + service_cost;
+                        stats.heartbeats_delivered += 1;
+                        stats.overhead_cycles += service_cost;
+                        trace!(ping_next_core, Activity::Overhead, service_cost);
+                        let delay = latency + if jitter > 0 { rng.below(jitter + 1) } else { 0 };
+                        ping_next_core += 1;
+                        if ping_next_core == cfg.cores {
+                            // Round complete: rest until the next beat.
+                            ping_next_core = 0;
+                            ping_round_start += cfg.heartbeat;
+                            ping_next_time = (now + delay).max(ping_round_start);
+                        } else {
+                            ping_next_time = now + delay;
+                        }
+                    }
+                }
+                InterruptModel::Disabled => {}
+            }
+
+            let mut all_idle = true;
+            for c in 0..cfg.cores {
+                if cores[c].busy_until > now {
+                    all_idle = false;
+                    continue;
+                }
+                // Acquire work if idle.
+                if cores[c].current.is_none() {
+                    if let Some(t) = cores[c].deque.pop_back() {
+                        cores[c].current = Some(t);
+                    } else if cfg.cores > 1 {
+                        // Randomized steal from another core's top.
+                        let victim = (c + 1 + rng.below(cfg.cores as u64 - 1) as usize) % cfg.cores;
+                        let stolen = cores[victim].deque.pop_front();
+                        match stolen {
+                            Some(t) => {
+                                cores[c].current = Some(t);
+                                cores[c].busy_until = now + cfg.steal_cost;
+                                stats.steals += 1;
+                                stats.overhead_cycles += cfg.steal_cost;
+                                trace!(c, Activity::Overhead, cfg.steal_cost);
+                                all_idle = false;
+                                continue;
+                            }
+                            None => {
+                                cores[c].busy_until = now + cfg.steal_retry_cost;
+                                stats.failed_steals += 1;
+                                stats.idle_cycles += cfg.steal_retry_cost;
+                                trace!(c, Activity::Idle, cfg.steal_retry_cost);
+                                continue;
+                            }
+                        }
+                    } else {
+                        stats.idle_cycles += 1;
+                        trace!(c, Activity::Idle, 1);
+                        continue;
+                    }
+                }
+                all_idle = false;
+
+                let mut task = cores[c].current.take().expect("task present");
+
+                // Pending heartbeat: serviced at the next promotion-ready
+                // program point (rollforward semantics).
+                if cores[c].hb_flag {
+                    if let Some(handler) = task.at_promotion_point(self.program) {
+                        task.divert_to_handler(handler);
+                        cores[c].hb_flag = false;
+                        stats.promotions += 1;
+                    }
+                }
+
+                match step_task(self.program, &mut task, &mut self.stores)? {
+                    StepOutcome::Ran => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        cores[c].busy_until = now + 1;
+                        cores[c].current = Some(task);
+                    }
+                    StepOutcome::Halted => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        halted = Some(task);
+                        break 'sim;
+                    }
+                    StepOutcome::Forked { child } => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        trace!(c, Activity::Overhead, cfg.fork_cost);
+                        stats.forks += 1;
+                        cores[c].deque.push_back(*child);
+                        cores[c].busy_until = now + 1 + cfg.fork_cost;
+                        stats.overhead_cycles += cfg.fork_cost;
+                        cores[c].current = Some(task);
+                        live_tasks += 1;
+                        stats.max_live_tasks = stats.max_live_tasks.max(live_tasks);
+                    }
+                    StepOutcome::Joined { jr } => {
+                        stats.instructions += 1;
+                        stats.work_cycles += 1;
+                        trace!(c, Activity::Work, 1);
+                        trace!(c, Activity::Overhead, cfg.join_cost);
+                        stats.joins += 1;
+                        cores[c].busy_until = now + 1 + cfg.join_cost;
+                        stats.overhead_cycles += cfg.join_cost;
+                        match resolve_join(self.program, task, jr, &mut self.stores, 0)? {
+                            JoinResolution::TaskDied => {
+                                live_tasks -= 1;
+                            }
+                            JoinResolution::Merged(t) => {
+                                stats.merges += 1;
+                                cores[c].current = Some(*t);
+                            }
+                            JoinResolution::Completed(t) => {
+                                cores[c].current = Some(*t);
+                            }
+                        }
+                    }
+                }
+                if stats.instructions > cfg.step_limit {
+                    return Err(MachineError::StepLimitExceeded {
+                        limit: cfg.step_limit,
+                    });
+                }
+            }
+
+            if all_idle
+                && cores
+                    .iter()
+                    .all(|c| c.current.is_none() && c.deque.is_empty())
+                && cores.iter().all(|c| c.busy_until <= now)
+            {
+                return Err(MachineError::Deadlock);
+            }
+        }
+
+        let halted = halted.expect("loop exits via halt");
+        let final_regs = (0..self.program.reg_count())
+            .map(|i| {
+                let r = Reg::from_index(i);
+                (self.program.reg_name(r).to_owned(), halted.regs.read_raw(r))
+            })
+            .collect();
+
+        Ok(SimOutcome {
+            time: now,
+            stats,
+            cores: cfg.cores,
+            heartbeat: cfg.heartbeat,
+            timeline,
+            final_regs,
+        })
+    }
+}

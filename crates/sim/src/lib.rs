@@ -23,6 +23,15 @@
 //! promotion counts, and achieved-versus-target heartbeat rates — the
 //! quantities behind Figures 7, 10, 11, 14, and 15.
 //!
+//! Two engines implement the same model: [`Sim`], the event-driven
+//! production engine (a binary-heap event queue plus instruction-run
+//! batching via [`tpal_core::machine::run_task_until`]), and [`SimRef`],
+//! the original one-tick-per-cycle loop kept as the executable
+//! specification. They are held observably equivalent — identical
+//! makespan, stats, and final registers on every program ×
+//! configuration × seed — by the `engine_equivalence` differential
+//! tests.
+//!
 //! # Example
 //!
 //! ```
@@ -45,9 +54,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod engine_ref;
 mod rng;
 pub mod timeline;
 
 pub use engine::{InterruptModel, Sim, SimConfig, SimOutcome, SimStats};
+pub use engine_ref::SimRef;
 pub use rng::SplitMix64;
 pub use timeline::{Activity, Bucket, Timeline};

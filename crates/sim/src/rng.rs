@@ -30,6 +30,20 @@ impl SplitMix64 {
         debug_assert!(n > 0);
         self.next_u64() % n
     }
+
+    /// Advances the stream past `n` draws in O(1), leaving the generator
+    /// exactly as if [`Self::next_u64`] had been called `n` times and the
+    /// results discarded. SplitMix64's state walks a fixed-increment
+    /// Weyl sequence, so skipping is a single multiply-add.
+    ///
+    /// The simulator uses this to fast-forward over steal attempts whose
+    /// failure is forced (every deque empty): the drawn victims are never
+    /// observable, but the stream position after them is.
+    pub fn skip(&mut self, n: u64) {
+        self.state = self
+            .state
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
 }
 
 #[cfg(test)]
@@ -50,6 +64,19 @@ mod tests {
         let mut a = SplitMix64::new(1);
         let mut b = SplitMix64::new(2);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn skip_matches_discarded_draws() {
+        for n in [0u64, 1, 2, 7, 1000] {
+            let mut fast = SplitMix64::new(0xABCD);
+            let mut slow = SplitMix64::new(0xABCD);
+            fast.skip(n);
+            for _ in 0..n {
+                slow.next_u64();
+            }
+            assert_eq!(fast.next_u64(), slow.next_u64(), "after skipping {n}");
+        }
     }
 
     #[test]

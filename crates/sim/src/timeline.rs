@@ -55,6 +55,23 @@ impl Timeline {
         }
     }
 
+    /// Records a contiguous span of `cycles` cycles of `kind` starting at
+    /// `start`, splitting it across buckets exactly as `cycles` individual
+    /// [`Timeline::record`] calls of one cycle each would — this is what
+    /// lets the batching engine charge a whole instruction run with one
+    /// call instead of one per cycle.
+    pub(crate) fn record_span(&mut self, core: usize, start: u64, kind: Activity, cycles: u64) {
+        let mut t = start;
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let bucket_end = (t / self.bucket_cycles + 1) * self.bucket_cycles;
+            let chunk = remaining.min(bucket_end - t);
+            self.record(core, t, kind, chunk);
+            t += chunk;
+            remaining -= chunk;
+        }
+    }
+
     /// The bucket size in cycles.
     pub fn bucket_cycles(&self) -> u64 {
         self.bucket_cycles
@@ -180,6 +197,37 @@ mod tests {
         let body: String = s.chars().filter(|c| "#+o. ".contains(*c)).collect();
         assert!(body.contains('#'), "{s}");
         assert!(body.contains('.'), "{s}");
+    }
+
+    #[test]
+    fn record_span_matches_per_cycle_recording() {
+        // Spans chosen to start mid-bucket, end mid-bucket, cover whole
+        // buckets, and sit entirely inside one bucket.
+        let spans = [
+            (0usize, 7u64, Activity::Work, 250u64), // crosses 3 boundaries
+            (0, 95, Activity::Overhead, 10),        // straddles one boundary
+            (1, 40, Activity::Work, 5),             // within one bucket
+            (1, 100, Activity::Idle, 100),          // exactly one bucket
+            (1, 199, Activity::Work, 1),            // single cycle at bucket end
+        ];
+        let mut batched = Timeline::new(2, 100);
+        let mut reference = Timeline::new(2, 100);
+        for &(core, start, kind, cycles) in &spans {
+            batched.record_span(core, start, kind, cycles);
+            for i in 0..cycles {
+                reference.record(core, start + i, kind, 1);
+            }
+        }
+        for core in 0..2 {
+            assert_eq!(batched.core(core), reference.core(core), "core {core}");
+        }
+    }
+
+    #[test]
+    fn record_span_of_zero_cycles_records_nothing() {
+        let mut t = Timeline::new(1, 10);
+        t.record_span(0, 5, Activity::Work, 0);
+        assert!(t.core(0).is_empty());
     }
 
     #[test]

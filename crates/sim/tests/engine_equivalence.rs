@@ -1,0 +1,138 @@
+//! Differential tests: the event-driven engine ([`Sim`]) must be
+//! *observably equivalent* to the cycle-tick reference ([`SimRef`]) —
+//! identical makespan, identical [`SimStats`] field by field, and
+//! identical final registers — on real workload programs, across every
+//! interrupt model and several RNG seeds.
+//!
+//! This suite is what licenses the event-queue + instruction-batching
+//! rewrite: any scheduling divergence (RNG consumption order, deque
+//! contents, allocation order, interrupt timing) shows up here as a
+//! mismatched counter or register.
+
+use tpal_ir::lower::{lower, Mode};
+use tpal_sim::{Sim, SimConfig, SimRef};
+use tpal_workloads::{workload, Scale, SimSpec};
+
+const SEEDS: [u64; 3] = [0xDEC0DE, 1, 0xFEED_5EED];
+
+fn configs() -> Vec<(&'static str, Mode, SimConfig)> {
+    vec![
+        ("serial", Mode::Serial, SimConfig::serial()),
+        ("linux-4", Mode::Heartbeat, SimConfig::linux(4, 3_000)),
+        ("nautilus-8", Mode::Heartbeat, SimConfig::nautilus(8, 3_000)),
+    ]
+}
+
+fn assert_engines_agree(name: &str) {
+    let spec: SimSpec = workload(name)
+        .expect("known workload")
+        .sim_spec(Scale::Quick);
+    for (label, mode, base) in configs() {
+        let lowered = lower(&spec.ir, mode).unwrap_or_else(|e| panic!("lowering failed: {e}"));
+        for seed in SEEDS {
+            let mut config = base;
+            config.seed = seed;
+            let ctx = format!("{name} / {label} / seed {seed:#x}");
+
+            let mut new_engine = Sim::new(&lowered.program, config);
+            let mut ref_engine = SimRef::new(&lowered.program, config);
+            for (pname, data) in &spec.input.arrays {
+                let base_new = new_engine.alloc_array(data);
+                let base_ref = ref_engine.alloc_array(data);
+                assert_eq!(base_new, base_ref, "{ctx}: array base for {pname}");
+                new_engine
+                    .set_reg(&lowered.param_reg(pname), base_new)
+                    .unwrap();
+                ref_engine
+                    .set_reg(&lowered.param_reg(pname), base_ref)
+                    .unwrap();
+            }
+            for (pname, v) in &spec.input.ints {
+                new_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+                ref_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+            }
+
+            let new_out = new_engine
+                .run()
+                .unwrap_or_else(|e| panic!("{ctx}: new engine failed: {e}"));
+            let ref_out = ref_engine
+                .run()
+                .unwrap_or_else(|e| panic!("{ctx}: reference engine failed: {e}"));
+
+            assert_eq!(new_out.time, ref_out.time, "{ctx}: makespan");
+            assert_eq!(new_out.stats, ref_out.stats, "{ctx}: stats");
+            assert_eq!(
+                new_out.final_regs(),
+                ref_out.final_regs(),
+                "{ctx}: final registers"
+            );
+            assert_eq!(
+                new_out.read_reg(&lowered.result_reg),
+                Some(spec.expected),
+                "{ctx}: checksum"
+            );
+        }
+    }
+}
+
+#[test]
+fn plus_reduce_array_engines_agree() {
+    assert_engines_agree("plus-reduce-array");
+}
+
+#[test]
+fn floyd_warshall_engines_agree() {
+    assert_engines_agree("floyd-warshall-small");
+}
+
+#[test]
+fn spmv_random_engines_agree() {
+    assert_engines_agree("spmv-random");
+}
+
+#[test]
+fn mergesort_engines_agree() {
+    assert_engines_agree("mergesort-uniform");
+}
+
+#[test]
+fn knapsack_engines_agree() {
+    assert_engines_agree("knapsack");
+}
+
+/// The timelines must agree bucket-for-bucket too: the batching engine
+/// records work as spans ([`Timeline::record_span`]) while the reference
+/// records cycle by cycle, and the split across buckets must come out
+/// the same.
+#[test]
+fn timelines_agree_bucket_for_bucket() {
+    let spec = workload("plus-reduce-array")
+        .expect("known workload")
+        .sim_spec(Scale::Quick);
+    let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+    let mut config = SimConfig::nautilus(4, 3_000);
+    config.record_timeline = true;
+
+    let mut new_engine = Sim::new(&lowered.program, config);
+    let mut ref_engine = SimRef::new(&lowered.program, config);
+    for (pname, data) in &spec.input.arrays {
+        let b = new_engine.alloc_array(data);
+        ref_engine.alloc_array(data);
+        new_engine.set_reg(&lowered.param_reg(pname), b).unwrap();
+        ref_engine.set_reg(&lowered.param_reg(pname), b).unwrap();
+    }
+    for (pname, v) in &spec.input.ints {
+        new_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+        ref_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+    }
+    let new_out = new_engine.run().unwrap();
+    let ref_out = ref_engine.run().unwrap();
+
+    let new_tl = new_out.timeline.expect("timeline recorded");
+    let ref_tl = ref_out.timeline.expect("timeline recorded");
+    assert_eq!(new_tl.cores(), ref_tl.cores());
+    assert_eq!(new_tl.bucket_cycles(), ref_tl.bucket_cycles());
+    for c in 0..new_tl.cores() {
+        assert_eq!(new_tl.core(c), ref_tl.core(c), "core {c} buckets");
+    }
+}
