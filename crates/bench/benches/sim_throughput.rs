@@ -1,0 +1,172 @@
+//! Simulated instructions per second of the decoded, event-driven
+//! engine ([`Sim`]) versus the cycle-tick reference ([`SimRef`]), at
+//! the paper's 15 cores, over four workload shapes: flat reduction
+//! (`plus-reduce-array`), nested loops (`floyd-warshall-small`),
+//! irregular fork-join recursion (`mergesort-uniform`), and an
+//! escape-time flat loop with data-dependent trip counts
+//! (`mandelbrot`). Writes `BENCH_sim_throughput.json` at the repo root
+//! with the measured speedups.
+//!
+//! With `TPAL_BENCH_SMOKE=1` the bench runs each workload once per
+//! engine and asserts the engines agree — a CI-sized canary for decode
+//! regressions (panics, equivalence drift under `debug_assertions`) —
+//! without criterion sampling and without touching the JSON record.
+
+use criterion::{criterion_group, Criterion, Throughput};
+
+use tpal_ir::lower::{lower, Mode};
+use tpal_sim::{Sim, SimConfig, SimRef};
+use tpal_workloads::{workload, Scale};
+
+const CASES: [&str; 4] = [
+    "plus-reduce-array",
+    "floyd-warshall-small",
+    "mergesort-uniform",
+    "mandelbrot",
+];
+
+fn config() -> SimConfig {
+    SimConfig::nautilus(15, 3_000)
+}
+
+/// Builds, seeds, and runs one simulator engine on a workload spec.
+macro_rules! run_engine {
+    ($engine:ident, $lowered:expr, $spec:expr, $config:expr) => {{
+        let mut sim = $engine::new(&$lowered.program, $config);
+        for (name, data) in &$spec.input.arrays {
+            let base = sim.alloc_array(data);
+            sim.set_reg(&$lowered.param_reg(name), base).unwrap();
+        }
+        for (name, v) in &$spec.input.ints {
+            sim.set_reg(&$lowered.param_reg(name), *v).unwrap();
+        }
+        sim.run().unwrap()
+    }};
+}
+
+/// One engine-agreement pass over every case: the decoded engine's
+/// stats must equal the reference's under the bench configuration.
+fn check_equivalence() {
+    let config = config();
+    for name in CASES {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+        let new_out = run_engine!(Sim, lowered, spec, config);
+        let ref_out = run_engine!(SimRef, lowered, spec, config);
+        assert_eq!(
+            new_out.stats, ref_out.stats,
+            "{name}: engines diverged under bench config"
+        );
+        println!(
+            "sim_throughput smoke {name}: {} instrs, engines agree",
+            new_out.stats.instructions
+        );
+    }
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let config = config();
+
+    let mut g = c.benchmark_group("sim_throughput");
+    for name in CASES {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+        let instructions = run_engine!(Sim, lowered, spec, config).stats.instructions;
+        g.throughput(Throughput::Elements(instructions));
+        g.bench_function(&format!("{name}/event_batched"), |b| {
+            b.iter(|| run_engine!(Sim, lowered, spec, config).stats.instructions)
+        });
+        g.bench_function(&format!("{name}/cycle_tick_ref"), |b| {
+            b.iter(|| {
+                run_engine!(SimRef, lowered, spec, config)
+                    .stats
+                    .instructions
+            })
+        });
+    }
+    g.finish();
+
+    // Direct timed comparison for the JSON record (the criterion samples
+    // above are for humans, this is for the regression file). The two
+    // engines' samples are interleaved and the minimum is kept:
+    // run-to-run noise on a shared machine is strictly additive, so
+    // min-of-N is the robust estimator for a deterministic
+    // single-threaded run, and interleaving keeps a noisy phase from
+    // landing entirely on one engine.
+    let mut entries = Vec::new();
+    for name in CASES {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+
+        let new_out = run_engine!(Sim, lowered, spec, config);
+        let ref_out = run_engine!(SimRef, lowered, spec, config);
+        assert_eq!(
+            new_out.stats, ref_out.stats,
+            "{name}: engines diverged under bench config"
+        );
+        let instructions = new_out.stats.instructions;
+        let mut new_ns = u128::MAX;
+        let mut ref_ns = u128::MAX;
+        for _ in 0..7 {
+            let start = std::time::Instant::now();
+            std::hint::black_box(run_engine!(Sim, lowered, spec, config).stats.instructions);
+            new_ns = new_ns.min(start.elapsed().as_nanos());
+            let start = std::time::Instant::now();
+            std::hint::black_box(
+                run_engine!(SimRef, lowered, spec, config)
+                    .stats
+                    .instructions,
+            );
+            ref_ns = ref_ns.min(start.elapsed().as_nanos());
+        }
+        let speedup = ref_ns as f64 / new_ns.max(1) as f64;
+        let ips = |ns: u128| instructions as f64 * 1e9 / ns.max(1) as f64;
+        println!(
+            "sim_throughput {name}: {instructions} instrs, \
+             event {:.1} Minstr/s, ref {:.1} Minstr/s, speedup {speedup:.1}x",
+            ips(new_ns) / 1e6,
+            ips(ref_ns) / 1e6,
+        );
+        entries.push(format!(
+            "    {{\n      \"workload\": \"{name}\",\n      \"instructions\": {instructions},\n      \
+             \"event_engine_ns\": {new_ns},\n      \"cycle_tick_ref_ns\": {ref_ns},\n      \
+             \"event_engine_instr_per_sec\": {:.0},\n      \
+             \"cycle_tick_ref_instr_per_sec\": {:.0},\n      \"speedup\": {speedup:.2}\n    }}",
+            ips(new_ns),
+            ips(ref_ns),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"config\": {{\n    \"cores\": {},\n    \
+         \"heartbeat\": {},\n    \"interrupt\": \"nautilus\",\n    \"mode\": \"heartbeat\",\n    \
+         \"scale\": \"quick\"\n  }},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        config.cores,
+        config.heartbeat,
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_sim_throughput.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_sim_throughput.json");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sim_throughput
+}
+
+fn main() {
+    if std::env::var_os("TPAL_BENCH_SMOKE").is_some() {
+        check_equivalence();
+        return;
+    }
+    benches();
+}

@@ -56,11 +56,13 @@
 
 pub mod asm;
 pub mod cost;
+pub mod decoded;
 pub mod isa;
 pub mod machine;
 pub mod program;
 pub mod programs;
 
+pub use decoded::DecodedProgram;
 pub use isa::{Annotation, BinOp, Block, Instr, JoinPolicy, Label, Operand, Reg, RegMap};
 pub use machine::{Machine, MachineConfig, MachineError, Outcome, Value};
 pub use program::{Program, ProgramBuilder, ValidationError};

@@ -11,10 +11,11 @@
 use std::collections::VecDeque;
 
 use crate::cost::CostGraph;
+use crate::decoded::DecodedProgram;
 use crate::isa::Label;
 use crate::machine::stack::PromotionOrder;
 use crate::machine::step::{
-    resolve_join, step_task, JoinResolution, StepOutcome, Stores, TaskCost, TaskState,
+    resolve_join, step_task, JoinResolution, RunPause, StepOutcome, Stores, TaskCost, TaskState,
 };
 use crate::machine::value::{MachineError, RegFile, Value};
 use crate::program::Program;
@@ -223,6 +224,7 @@ impl SplitMix64 {
 #[derive(Debug)]
 pub struct Machine<'p> {
     program: &'p Program,
+    decoded: DecodedProgram,
     config: MachineConfig,
     stores: Stores,
     initial: Option<TaskState>,
@@ -245,6 +247,7 @@ impl<'p> Machine<'p> {
         stores.stacks.set_promotion_order(config.promotion_order);
         Machine {
             program,
+            decoded: DecodedProgram::decode(program),
             config,
             stores,
             initial: Some(initial),
@@ -266,12 +269,7 @@ impl<'p> Machine<'p> {
     ///
     /// [`MachineError::UnknownName`] if the program never names `name`.
     pub fn set_value(&mut self, name: &str, value: Value) -> Result<(), MachineError> {
-        let reg = self
-            .program
-            .reg(name)
-            .ok_or_else(|| MachineError::UnknownName {
-                name: name.to_owned(),
-            })?;
+        let reg = self.program.reg(name).ok_or(MachineError::UnknownName)?;
         self.initial
             .as_mut()
             .expect("machine already run")
@@ -348,52 +346,102 @@ impl<'p> Machine<'p> {
                 }
                 _ => u64::MAX,
             };
-            loop {
-                if task.poll_heartbeat(program, config.heartbeat) {
-                    stats.promotions += 1;
-                }
-                match step_task(program, &mut task, &mut self.stores)? {
-                    StepOutcome::Ran => {}
-                    StepOutcome::Halted => {
-                        stats.instructions += 1;
-                        halted = Some(task);
-                        break 'outer;
-                    }
-                    StepOutcome::Forked { child } => {
-                        stats.forks += 1;
-                        match config.policy {
-                            SchedulePolicy::ChildFirst => {
-                                queue.push_front(task);
-                                task = *child;
-                            }
-                            _ => queue.push_back(*child),
-                        }
-                        stats.max_live_tasks = stats.max_live_tasks.max(queue.len() + 1);
-                    }
-                    StepOutcome::Joined { jr } => {
-                        stats.instructions += 1;
-                        stats.joins += 1;
-                        match resolve_join(program, task, jr, &mut self.stores, config.tau)? {
-                            JoinResolution::TaskDied => continue 'outer,
-                            JoinResolution::Merged(resumed) => {
-                                stats.merges += 1;
-                                task = *resumed;
-                                continue;
-                            }
-                            JoinResolution::Completed(resumed) => {
-                                task = *resumed;
-                                continue;
-                            }
-                        }
-                    }
-                }
-                stats.instructions += 1;
+            // Straight-line stretches run batched through the decoded
+            // micro-op stream; the batch budget is the least of the three
+            // events the per-step reference loop would notice — heartbeat
+            // expiry (the poll fires once `cycles` exceeds ♥), the end of
+            // the scheduling slice, and the global step limit. Boundaries
+            // and promotions are then handled exactly as the per-step
+            // loop handles them.
+            'inner: loop {
+                let watch = task.cycles > config.heartbeat;
+                let until_hb = if watch {
+                    u64::MAX
+                } else {
+                    (config.heartbeat - task.cycles).saturating_add(1)
+                };
+                let until_quantum = if queue.is_empty() {
+                    u64::MAX
+                } else {
+                    quantum.saturating_sub(slice).max(1)
+                };
+                let until_limit = config
+                    .step_limit
+                    .saturating_add(1)
+                    .saturating_sub(stats.instructions);
+                let max_steps = until_hb.min(until_quantum).min(until_limit);
+
+                let (steps, pause) =
+                    self.decoded
+                        .run_until(&mut task, &mut self.stores, max_steps, watch)?;
+                stats.instructions += steps;
                 if stats.instructions > config.step_limit {
                     return Err(MachineError::StepLimitExceeded {
                         limit: config.step_limit,
                     });
                 }
-                slice += 1;
+                slice += steps;
+
+                match pause {
+                    RunPause::Quantum => {}
+                    RunPause::PromotionReady => {
+                        let handler = task
+                            .at_promotion_point(program)
+                            .expect("PromotionReady pause implies a prppt entry");
+                        task.divert_to_handler(handler);
+                        stats.promotions += 1;
+                    }
+                    RunPause::Boundary => match step_task(program, &mut task, &mut self.stores)? {
+                        StepOutcome::Ran => {
+                            stats.instructions += 1;
+                            if stats.instructions > config.step_limit {
+                                return Err(MachineError::StepLimitExceeded {
+                                    limit: config.step_limit,
+                                });
+                            }
+                            slice += 1;
+                        }
+                        StepOutcome::Halted => {
+                            stats.instructions += 1;
+                            halted = Some(task);
+                            break 'outer;
+                        }
+                        StepOutcome::Forked { child } => {
+                            stats.forks += 1;
+                            match config.policy {
+                                SchedulePolicy::ChildFirst => {
+                                    queue.push_front(task);
+                                    task = *child;
+                                }
+                                _ => queue.push_back(*child),
+                            }
+                            stats.max_live_tasks = stats.max_live_tasks.max(queue.len() + 1);
+                            stats.instructions += 1;
+                            if stats.instructions > config.step_limit {
+                                return Err(MachineError::StepLimitExceeded {
+                                    limit: config.step_limit,
+                                });
+                            }
+                            slice += 1;
+                        }
+                        StepOutcome::Joined { jr } => {
+                            stats.instructions += 1;
+                            stats.joins += 1;
+                            match resolve_join(program, task, jr, &mut self.stores, config.tau)? {
+                                JoinResolution::TaskDied => continue 'outer,
+                                JoinResolution::Merged(resumed) => {
+                                    stats.merges += 1;
+                                    task = *resumed;
+                                    continue 'inner;
+                                }
+                                JoinResolution::Completed(resumed) => {
+                                    task = *resumed;
+                                    continue 'inner;
+                                }
+                            }
+                        }
+                    },
+                }
                 if slice >= quantum && !queue.is_empty() {
                     queue.push_back(task);
                     continue 'outer;
@@ -468,7 +516,7 @@ mod tests {
         let mut m = Machine::new(&p, MachineConfig::default());
         assert!(matches!(
             m.set_reg("nope", 1),
-            Err(MachineError::UnknownName { .. })
+            Err(MachineError::UnknownName)
         ));
     }
 

@@ -44,34 +44,62 @@ impl Heap {
     }
 
     /// Loads the word at `base + offset`.
-    ///
-    /// (Hot path: a negative address casts to a `usize` far beyond any
-    /// length, so the single `get` doubles as the upper *and* lower range
-    /// check; only null needs testing separately.)
+    #[inline]
     pub fn load(&self, base: i64, offset: i64) -> Result<i64, MachineError> {
+        Self::load_in(&self.words, base, offset)
+    }
+
+    /// Stores a word at `base + offset`.
+    #[inline]
+    pub fn store(&mut self, base: i64, offset: i64, v: i64) -> Result<(), MachineError> {
+        Self::store_in(&mut self.words, base, offset, v)
+    }
+
+    /// [`Heap::load`] over a borrowed word slice. Hot interpreter loops
+    /// borrow the words once (nothing allocates between scheduling
+    /// boundaries) so the slice stays in machine registers.
+    ///
+    /// (A negative address casts to a `usize` far beyond any length, so
+    /// the single `get` doubles as the upper *and* lower range check;
+    /// only null needs testing separately.)
+    #[inline(always)]
+    pub(crate) fn load_in(words: &[i64], base: i64, offset: i64) -> Result<i64, MachineError> {
         let addr = base.wrapping_add(offset);
         if addr == 0 {
             return Err(MachineError::HeapOutOfRange { addr });
         }
-        self.words
+        words
             .get(addr as usize)
             .copied()
             .ok_or(MachineError::HeapOutOfRange { addr })
     }
 
-    /// Stores a word at `base + offset`.
-    pub fn store(&mut self, base: i64, offset: i64, v: i64) -> Result<(), MachineError> {
+    /// [`Heap::store`] over a borrowed word slice.
+    #[inline(always)]
+    pub(crate) fn store_in(
+        words: &mut [i64],
+        base: i64,
+        offset: i64,
+        v: i64,
+    ) -> Result<(), MachineError> {
         let addr = base.wrapping_add(offset);
         if addr == 0 {
             return Err(MachineError::HeapOutOfRange { addr });
         }
-        match self.words.get_mut(addr as usize) {
+        match words.get_mut(addr as usize) {
             Some(w) => {
                 *w = v;
                 Ok(())
             }
             None => Err(MachineError::HeapOutOfRange { addr }),
         }
+    }
+
+    /// The raw word slice, for hot loops that pair with
+    /// [`Heap::load_in`]/[`Heap::store_in`].
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [i64] {
+        &mut self.words
     }
 
     /// A view of `len` words starting at `base` (for reading results back
@@ -94,6 +122,18 @@ impl Heap {
     /// Returns `true` if nothing beyond the null word was allocated.
     pub fn is_empty(&self) -> bool {
         self.words.len() <= 1
+    }
+
+    /// A deterministic checksum over the whole heap (an FNV-1a-style
+    /// wrapping fold over every word, position included). Differential
+    /// tests use it to compare two heaps without materialising both.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &w in &self.words {
+            h ^= w as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
     }
 }
 

@@ -16,10 +16,10 @@
 //!   tasks under their own scheduling, interrupt, and cost models.
 
 mod exec;
-mod heap;
+pub(crate) mod heap;
 mod join;
-mod stack;
-mod step;
+pub(crate) mod stack;
+pub(crate) mod step;
 mod value;
 
 pub use exec::{ExecStats, Machine, MachineConfig, Outcome, SchedulePolicy};

@@ -116,6 +116,7 @@ impl StackStore {
     /// `sp`, returning the updated pointer (which addresses the newest
     /// cell). Cells above `sp` that were abandoned by pointer arithmetic
     /// (e.g. the promoted frame skipped by `joink`) are reclaimed.
+    #[inline]
     pub fn salloc(&mut self, sp: StackRef, n: u32) -> Result<StackRef, MachineError> {
         let cells = self.cells_mut(sp.stack);
         let live = (sp.pos + 1) as usize;
@@ -135,6 +136,7 @@ impl StackStore {
 
     /// `sfree sp, n`: frees `n` cells from the front of the view, returning
     /// the updated pointer.
+    #[inline]
     pub fn sfree(&mut self, sp: StackRef, n: u32) -> Result<StackRef, MachineError> {
         let new_pos = sp.pos - n as i64;
         if new_pos < -1 {
@@ -167,6 +169,7 @@ impl StackStore {
     /// (Hot path: a negative position casts to a `usize` far beyond any
     /// length, so the single `get` doubles as the upper *and* lower range
     /// check of [`Self::check`].)
+    #[inline]
     pub fn load(&self, sp: StackRef, offset: u32) -> Result<Value, MachineError> {
         let cells = &self.stacks[sp.stack.index()];
         let pos = sp.pos - offset as i64;
@@ -180,6 +183,7 @@ impl StackStore {
     }
 
     /// `mem[sp + offset] := v`: stores to a cell.
+    #[inline]
     pub fn store(&mut self, sp: StackRef, offset: u32, v: Value) -> Result<(), MachineError> {
         let cells = &mut self.stacks[sp.stack.index()];
         let pos = sp.pos - offset as i64;

@@ -188,7 +188,7 @@ impl TaskState {
         false
     }
 
-    fn read_operand(&self, v: Operand) -> Result<Value, MachineError> {
+    pub(crate) fn read_operand(&self, v: Operand) -> Result<Value, MachineError> {
         match v {
             Operand::Reg(r) => self.regs.read(r),
             Operand::Label(l) => Ok(Value::Label(l)),
@@ -196,14 +196,17 @@ impl TaskState {
         }
     }
 
-    fn jump_target(&self, v: Operand) -> Result<Label, MachineError> {
+    pub(crate) fn jump_target(&self, v: Operand) -> Result<Label, MachineError> {
         match self.read_operand(v)? {
             Value::Label(l) => Ok(l),
             other => Err(MachineError::JumpToNonLabel { got: other.kind() }),
         }
     }
 
-    fn stack_reg(&self, r: Reg) -> Result<crate::machine::stack::StackRef, MachineError> {
+    pub(crate) fn stack_reg(
+        &self,
+        r: Reg,
+    ) -> Result<crate::machine::stack::StackRef, MachineError> {
         self.regs.read(r)?.as_stack()
     }
 }
@@ -231,6 +234,7 @@ pub enum StepOutcome {
 
 /// Evaluates a primitive binary operation (`[binop]`, plus the pointer
 /// arithmetic used by the stack extension).
+#[inline]
 pub fn eval_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, MachineError> {
     use BinOp::*;
     let bool_to_val = |b: bool| Value::Int(if b { 0 } else { 1 }); // 0 = true
@@ -303,7 +307,7 @@ pub fn eval_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, MachineErr
 /// keeps the batched executor at exactly one match per instruction.
 /// Cycle/cost counters are the caller's job.
 #[inline]
-fn exec_plain(
+pub(crate) fn exec_plain(
     task: &mut TaskState,
     stores: &mut Stores,
     instr: &Instr,

@@ -38,6 +38,7 @@ impl Value {
     }
 
     /// Extracts an integer, or reports a type error.
+    #[inline]
     pub fn as_int(self) -> Result<i64, MachineError> {
         match self {
             Value::Int(n) => Ok(n),
@@ -141,6 +142,14 @@ impl RegFile {
         self.regs[r.index()] = v;
     }
 
+    /// The raw register slice (hot interpreter loops borrow it once so
+    /// the slice pointer and length stay in machine registers across
+    /// heap and stack stores).
+    #[inline]
+    pub(crate) fn slice_mut(&mut self) -> &mut [Value] {
+        &mut self.regs
+    }
+
     /// The number of register slots.
     pub fn len(&self) -> usize {
         self.regs.len()
@@ -168,7 +177,11 @@ impl RegFile {
 /// Well-formed TPAL programs never fault; these errors exist to give
 /// front ends and hand-written assembly precise diagnostics instead of
 /// undefined behaviour.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The type is deliberately `Copy` (no owned payloads): results carrying
+/// it need no drop glue or unwind edges, which keeps the interpreter
+/// dispatch loops free of cleanup paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MachineError {
     /// A register was read before ever being written.
     UninitRegister {
@@ -228,11 +241,10 @@ pub enum MachineError {
         /// The limit that was hit.
         limit: u64,
     },
-    /// A named register or label was not found (API-level lookups).
-    UnknownName {
-        /// The name that failed to resolve.
-        name: String,
-    },
+    /// A named register or label was not found (API-level lookups; the
+    /// caller holds the name it asked for, so the error carries none —
+    /// keeping [`MachineError`] `Copy`).
+    UnknownName,
     /// The machine deadlocked: live tasks remain but none can run.
     Deadlock,
 }
@@ -275,7 +287,7 @@ impl fmt::Display for MachineError {
             MachineError::StepLimitExceeded { limit } => {
                 write!(f, "step limit of {limit} instructions exceeded")
             }
-            MachineError::UnknownName { name } => write!(f, "unknown name `{name}`"),
+            MachineError::UnknownName => write!(f, "unknown register or label name"),
             MachineError::Deadlock => write!(f, "machine deadlocked with live tasks"),
         }
     }

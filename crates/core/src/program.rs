@@ -263,8 +263,8 @@ impl ProgramBuilder {
         self
     }
 
-    fn name(&self, l: Label) -> String {
-        self.label_names[l.index()].clone()
+    fn name(&self, l: Label) -> &str {
+        &self.label_names[l.index()]
     }
 
     /// Validates and produces the program.
@@ -285,45 +285,54 @@ impl ProgramBuilder {
             defined[l.index()] += 1;
             if defined[l.index()] > 1 {
                 return Err(ValidationError::DuplicateLabel {
-                    label: self.name(l),
+                    label: self.name(l).to_owned(),
                 });
             }
         }
-        // All referenced labels must be defined.
-        let mut blocks = Vec::with_capacity(self.blocks.len());
-        for (i, b) in self.blocks.iter().enumerate() {
+        let ProgramBuilder {
+            blocks: opt_blocks,
+            label_names,
+            reg_names,
+            label_by_name,
+            reg_by_name,
+            entry,
+            definition_order,
+        } = self;
+        // All referenced labels must be defined; take blocks by value.
+        let mut blocks = Vec::with_capacity(opt_blocks.len());
+        for (i, b) in opt_blocks.into_iter().enumerate() {
             match b {
-                Some(b) => blocks.push(b.clone()),
+                Some(b) => blocks.push(b),
                 None => {
                     return Err(ValidationError::UndefinedLabel {
-                        label: self.label_names[i].clone(),
+                        label: label_names[i].clone(),
                         in_block: "<program>".to_owned(),
                     })
                 }
             }
         }
 
-        let block_name = |l: Label| self.label_names[l.index()].clone();
+        let block_name = |l: Label| label_names[l.index()].as_str();
 
         for (i, block) in blocks.iter().enumerate() {
             let here = Label(i as u32);
             if block.instrs.is_empty() {
                 return Err(ValidationError::EmptyBlock {
-                    block: block_name(here),
+                    block: block_name(here).to_owned(),
                 });
             }
             let last = block.instrs.len() - 1;
             for (j, instr) in block.instrs.iter().enumerate() {
                 if j < last && instr.is_terminator() {
                     return Err(ValidationError::EarlyTerminator {
-                        block: block_name(here),
+                        block: block_name(here).to_owned(),
                         index: j,
                     });
                 }
             }
             if !block.instrs[last].is_terminator() {
                 return Err(ValidationError::MissingTerminator {
-                    block: block_name(here),
+                    block: block_name(here).to_owned(),
                 });
             }
             // jralloc continuations must be join targets.
@@ -335,8 +344,8 @@ impl ProgramBuilder {
                 {
                     if !matches!(blocks[k.index()].annotation, Annotation::JoinTarget { .. }) {
                         return Err(ValidationError::ContinuationNotJoinTarget {
-                            label: block_name(*k),
-                            in_block: block_name(here),
+                            label: block_name(*k).to_owned(),
+                            in_block: block_name(here).to_owned(),
                         });
                     }
                 }
@@ -345,23 +354,22 @@ impl ProgramBuilder {
                 if handler.index() >= blocks.len() {
                     return Err(ValidationError::UndefinedHandler {
                         label: format!("#{}", handler.index()),
-                        in_block: block_name(here),
+                        in_block: block_name(here).to_owned(),
                     });
                 }
             }
         }
 
-        let entry = self
-            .entry
-            .or_else(|| self.definition_order.first().copied())
+        let entry = entry
+            .or_else(|| definition_order.first().copied())
             .ok_or(ValidationError::NoBlocks)?;
 
         Ok(Program {
             blocks,
-            label_names: self.label_names,
-            reg_names: self.reg_names,
-            label_by_name: self.label_by_name,
-            reg_by_name: self.reg_by_name,
+            label_names,
+            reg_names,
+            label_by_name,
+            reg_by_name,
             entry,
         })
     }

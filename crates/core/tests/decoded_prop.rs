@@ -1,0 +1,283 @@
+//! Property tests of the decoded micro-op executor: on randomly
+//! generated valid programs, [`DecodedProgram::run_until`] must reach
+//! exactly the same final state as the reference interpreter
+//! ([`run_task_until`] / [`step_task`]) — same final registers, same
+//! heap checksum, same cycle count, and, when the program faults, the
+//! same [`MachineError`] at the same task position. The generator
+//! deliberately produces division-by-zero, uninitialised-register,
+//! heap-range, and stack-fault paths, and the decoded side is driven
+//! with adversarial quantum chunkings so fused micro-ops are split
+//! mid-way.
+
+use proptest::prelude::*;
+
+use tpal_core::decoded::DecodedProgram;
+use tpal_core::isa::{BinOp, Instr, MemAddr, Operand};
+use tpal_core::machine::{
+    run_task_until, step_task, MachineError, RunPause, StepOutcome, Stores, TaskState,
+};
+use tpal_core::program::{Program, ProgramBuilder};
+
+/// Value registers `r0..r4` are initialised by the entry block; `u` is
+/// never written (reads fault); `sp` holds the stack, `arr` the heap
+/// base.
+const VAL_REGS: usize = 5;
+
+#[derive(Debug, Clone)]
+enum GenOperand {
+    Reg(usize), // VAL_REGS = u, VAL_REGS+1 = sp, VAL_REGS+2 = arr
+    Int(i64),
+}
+
+#[derive(Debug, Clone)]
+enum GenInstr {
+    Move(usize, GenOperand),
+    Op(usize, BinOp, usize, GenOperand),
+    SAlloc(usize, u32),
+    SFree(u32),
+    Load(usize, usize, u32),
+    Store(usize, u32, GenOperand),
+    HLoad(usize, usize, GenOperand),
+    HStore(usize, GenOperand, GenOperand),
+    IfJumpFwd(usize, usize), // cond reg, forward distance selector
+}
+
+fn operand_strategy() -> impl Strategy<Value = GenOperand> {
+    prop_oneof![
+        (0..VAL_REGS + 3).prop_map(GenOperand::Reg),
+        // Includes 0, so `div`/`mod` by an immediate zero occurs.
+        (-2i64..12).prop_map(GenOperand::Int),
+    ]
+}
+
+fn instr_strategy() -> impl Strategy<Value = GenInstr> {
+    let vreg = 0..VAL_REGS;
+    let anyreg = 0..VAL_REGS + 3;
+    prop_oneof![
+        (vreg.clone(), operand_strategy()).prop_map(|(d, s)| GenInstr::Move(d, s)),
+        (
+            vreg.clone(),
+            proptest::sample::select(BinOp::all()),
+            anyreg.clone(),
+            operand_strategy()
+        )
+            .prop_map(|(d, o, l, r)| GenInstr::Op(d, o, l, r)),
+        // Stack traffic: the entry block allocates 4 cells, so offsets
+        // 0..6 stray out of range and `sfree` beyond the allocation
+        // underflows — both are wanted fault paths.
+        (0usize..2, 1u32..3).prop_map(|(s, n)| GenInstr::SAlloc(s, n)),
+        (1u32..6).prop_map(GenInstr::SFree),
+        (vreg.clone(), 0usize..2, 0u32..6).prop_map(|(d, b, o)| GenInstr::Load(d, b, o)),
+        (0usize..2, 0u32..6, operand_strategy()).prop_map(|(b, o, s)| GenInstr::Store(b, o, s)),
+        // Heap traffic: the array is 8 words; negative and large
+        // offsets fault, `sp`/`u` bases type-fault.
+        (vreg.clone(), 0usize..3, operand_strategy())
+            .prop_map(|(d, b, o)| GenInstr::HLoad(d, b, o)),
+        (0usize..3, operand_strategy(), operand_strategy())
+            .prop_map(|(b, o, s)| GenInstr::HStore(b, o, s)),
+        (anyreg, 0usize..4).prop_map(|(c, t)| GenInstr::IfJumpFwd(c, t)),
+    ]
+}
+
+/// Builds a terminating program: an init block that allocates the stack
+/// and heap and seeds `r0..r4`, then `NBLOCKS` body blocks whose jumps
+/// (conditional and terminator alike) only ever target *later* blocks,
+/// so every block runs at most once.
+fn build_program(bodies: &[Vec<GenInstr>], jumps: &[usize], seeds: &[i64]) -> Program {
+    let n = bodies.len();
+    let mut b = ProgramBuilder::new();
+    let vregs: Vec<_> = (0..VAL_REGS).map(|i| b.reg(&format!("r{i}"))).collect();
+    let u = b.reg("u");
+    let sp = b.reg("sp");
+    let arr = b.reg("arr");
+    let blocks: Vec<_> = (0..n).map(|i| b.label(&format!("blk{i}"))).collect();
+    let done = b.label("done");
+    let reg_of = |i: usize| {
+        if i < VAL_REGS {
+            vregs[i]
+        } else if i == VAL_REGS {
+            u
+        } else if i == VAL_REGS + 1 {
+            sp
+        } else {
+            arr
+        }
+    };
+    let to_op = |o: &GenOperand| match o {
+        GenOperand::Reg(i) => Operand::Reg(reg_of(*i)),
+        GenOperand::Int(v) => Operand::Int(*v),
+    };
+    // Stack bases: sp or (type-faulting) r0.
+    let base_of = |i: usize| if i == 0 { sp } else { vregs[0] };
+    // Heap bases: arr, sp (type fault), or r1 (usually out of range).
+    let hbase_of = |i: usize| match i {
+        0 => arr,
+        1 => sp,
+        _ => vregs[1],
+    };
+    // Forward target strictly after block `i`.
+    let fwd = |i: usize, sel: usize| {
+        let later = n - i; // choices: blk(i+1)..blk(n-1), done
+        if sel % later == later - 1 {
+            done
+        } else {
+            blocks[i + 1 + (sel % later)]
+        }
+    };
+
+    let mut init = vec![
+        Instr::SNew { dst: sp },
+        Instr::SAlloc { sp, n: 4 },
+        Instr::HAlloc {
+            dst: arr,
+            size: Operand::Int(8),
+        },
+    ];
+    for (i, &v) in seeds.iter().enumerate() {
+        init.push(Instr::Move {
+            dst: vregs[i],
+            src: Operand::Int(v),
+        });
+    }
+    init.push(Instr::Jump {
+        target: Operand::Label(blocks[0]),
+    });
+    b.block("init", init);
+
+    for (i, body) in bodies.iter().enumerate() {
+        let mut instrs: Vec<Instr> = Vec::new();
+        for gi in body {
+            instrs.push(match gi {
+                GenInstr::Move(d, s) => Instr::Move {
+                    dst: vregs[*d],
+                    src: to_op(s),
+                },
+                GenInstr::Op(d, o, l, r) => Instr::Op {
+                    dst: vregs[*d],
+                    op: *o,
+                    lhs: reg_of(*l),
+                    rhs: to_op(r),
+                },
+                GenInstr::SAlloc(s, n) => Instr::SAlloc {
+                    sp: base_of(*s),
+                    n: *n,
+                },
+                GenInstr::SFree(n) => Instr::SFree { sp, n: *n },
+                GenInstr::Load(d, base, o) => Instr::Load {
+                    dst: vregs[*d],
+                    addr: MemAddr {
+                        base: base_of(*base),
+                        offset: *o,
+                    },
+                },
+                GenInstr::Store(base, o, s) => Instr::Store {
+                    addr: MemAddr {
+                        base: base_of(*base),
+                        offset: *o,
+                    },
+                    src: to_op(s),
+                },
+                GenInstr::HLoad(d, base, o) => Instr::HLoad {
+                    dst: vregs[*d],
+                    base: hbase_of(*base),
+                    offset: to_op(o),
+                },
+                GenInstr::HStore(base, o, s) => Instr::HStore {
+                    base: hbase_of(*base),
+                    offset: to_op(o),
+                    src: to_op(s),
+                },
+                GenInstr::IfJumpFwd(c, t) => Instr::IfJump {
+                    cond: reg_of(*c),
+                    target: Operand::Label(fwd(i, *t)),
+                },
+            });
+        }
+        instrs.push(Instr::Jump {
+            target: Operand::Label(fwd(i, jumps[i])),
+        });
+        b.block(&format!("blk{i}"), instrs);
+    }
+    b.block("done", vec![Instr::Halt]);
+    b.build().expect("structurally valid by construction")
+}
+
+/// Everything observable about one complete run.
+#[derive(Debug, PartialEq)]
+struct RunResult {
+    outcome: Result<(), MachineError>,
+    block: String,
+    instr: usize,
+    cycles: u64,
+    regs: Vec<tpal_core::Value>,
+    heap_checksum: u64,
+}
+
+fn drive(program: &Program, decoded: Option<&DecodedProgram>, chunks: &[u64]) -> RunResult {
+    let mut task = TaskState::new(program, program.entry());
+    let mut stores = Stores::new();
+    let mut ci = 0usize;
+    let mut guard = 0u32;
+    let outcome = loop {
+        guard += 1;
+        assert!(guard < 100_000, "generated program failed to terminate");
+        let chunk = chunks[ci % chunks.len()];
+        ci += 1;
+        let r = match decoded {
+            Some(d) => d.run_until(&mut task, &mut stores, chunk, false),
+            None => run_task_until(program, &mut task, &mut stores, chunk, false),
+        };
+        match r {
+            Ok((_, RunPause::Quantum)) => continue,
+            Ok((_, RunPause::PromotionReady)) => unreachable!("watch is off"),
+            Ok((_, RunPause::Boundary)) => match step_task(program, &mut task, &mut stores) {
+                Ok(StepOutcome::Ran) => continue,
+                Ok(StepOutcome::Halted) => break Ok(()),
+                Ok(other) => unreachable!("no fork/join generated: {other:?}"),
+                Err(e) => break Err(e),
+            },
+            Err(e) => break Err(e),
+        }
+    };
+    RunResult {
+        outcome,
+        block: program.label_name(task.block).to_owned(),
+        instr: task.instr,
+        cycles: task.cycles,
+        regs: (0..program.reg_count())
+            .map(|i| task.regs.read_raw(tpal_core::Reg::from_index(i)))
+            .collect(),
+        heap_checksum: stores.heap.checksum(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Decoded execution reaches the reference's exact final state —
+    /// registers, heap, cycles, fault and fault position — regardless
+    /// of how quanta slice the run (including mid-fused-op splits).
+    #[test]
+    fn decoded_matches_reference(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(instr_strategy(), 0..10), 4..7),
+        jumps in proptest::collection::vec(0usize..8, 7..8),
+        seeds in proptest::collection::vec(-4i64..100, VAL_REGS..VAL_REGS + 1),
+        chunks in proptest::collection::vec(
+            proptest::sample::select(&[1u64, 2, 3, 5, 7, 64, u64::MAX][..]), 1..6),
+    ) {
+        let p = build_program(&bodies, &jumps, &seeds);
+        let d = DecodedProgram::decode(&p);
+        let reference = drive(&p, None, &[u64::MAX]);
+        // Unchunked decoded run.
+        let whole = drive(&p, Some(&d), &[u64::MAX]);
+        prop_assert_eq!(&reference, &whole);
+        // Adversarially chunked decoded run (splits fused micro-ops).
+        let sliced = drive(&p, Some(&d), &chunks);
+        prop_assert_eq!(&reference, &sliced);
+        // Chunked *reference* run, for symmetry: the pause protocol
+        // itself must be chunking-invariant on both executors.
+        let ref_sliced = drive(&p, None, &chunks);
+        prop_assert_eq!(&reference, &ref_sliced);
+    }
+}

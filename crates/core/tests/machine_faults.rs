@@ -179,7 +179,7 @@ fn unknown_register_name_in_api() {
     let mut m = Machine::new(&p, MachineConfig::default());
     assert!(matches!(
         m.set_reg("absent", 0),
-        Err(MachineError::UnknownName { .. })
+        Err(MachineError::UnknownName)
     ));
 }
 

@@ -5,9 +5,11 @@
 //! binary-heap event queue orders interrupt deliveries and core actions
 //! by `(time, phase, core)`, and between scheduling-relevant boundaries
 //! each core executes whole *runs* of straight-line instructions in one
-//! [`run_task_until`] call instead of one `step_task` round-trip per
-//! cycle. Simulated time jumps from event to event, so the cost of a run
-//! is O(instructions + events·log events) rather than
+//! [`DecodedProgram::run_until`] call over the pre-decoded micro-op
+//! stream (the program is decoded once per [`Sim`] and shared by every
+//! core and task) instead of one `step_task` round-trip per cycle.
+//! Simulated time jumps from event to event, so the cost of a run is
+//! O(instructions + events·log events) rather than
 //! O(makespan × cores).
 //!
 //! The two engines are observably equivalent — identical makespan,
@@ -18,10 +20,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use tpal_core::decoded::DecodedProgram;
 use tpal_core::isa::Reg;
 use tpal_core::machine::{
-    resolve_join, run_task_until, step_task, JoinResolution, MachineError, PromotionOrder,
-    RunPause, StepOutcome, Stores, TaskState, Value,
+    resolve_join, step_task, JoinResolution, MachineError, PromotionOrder, RunPause, StepOutcome,
+    Stores, TaskState, Value,
 };
 use tpal_core::program::Program;
 
@@ -269,6 +272,9 @@ fn push_action(queue: &mut BinaryHeap<Reverse<Event>>, core: usize, time: u64) {
 /// API: construct, seed inputs, [`Sim::run`].
 pub struct Sim<'p> {
     program: &'p Program,
+    /// The program compiled to micro-ops — decoded once here and shared
+    /// by every core and task for the whole run.
+    decoded: DecodedProgram,
     config: SimConfig,
     stores: Stores,
     initial: Option<TaskState>,
@@ -283,6 +289,7 @@ impl<'p> Sim<'p> {
         stores.stacks.set_promotion_order(config.promotion_order);
         Sim {
             program,
+            decoded: DecodedProgram::decode(program),
             config,
             stores,
             initial: Some(TaskState::new(program, program.entry())),
@@ -295,12 +302,7 @@ impl<'p> Sim<'p> {
     ///
     /// [`MachineError::UnknownName`] if the program never names `name`.
     pub fn set_reg(&mut self, name: &str, value: i64) -> Result<(), MachineError> {
-        let reg = self
-            .program
-            .reg(name)
-            .ok_or_else(|| MachineError::UnknownName {
-                name: name.to_owned(),
-            })?;
+        let reg = self.program.reg(name).ok_or(MachineError::UnknownName)?;
         self.initial
             .as_mut()
             .expect("simulation already run")
@@ -645,13 +647,9 @@ impl<'p> Sim<'p> {
                 .saturating_sub(stats.instructions);
             let max_steps = (horizon - now).min(allowed);
 
-            let (steps, pause) = run_task_until(
-                self.program,
-                &mut task,
-                &mut self.stores,
-                max_steps,
-                cores[c].hb_flag,
-            )?;
+            let (steps, pause) =
+                self.decoded
+                    .run_until(&mut task, &mut self.stores, max_steps, cores[c].hb_flag)?;
             if steps > 0 {
                 stats.instructions += steps;
                 stats.work_cycles += steps;

@@ -61,12 +61,7 @@ impl<'p> SimRef<'p> {
     ///
     /// [`MachineError::UnknownName`] if the program never names `name`.
     pub fn set_reg(&mut self, name: &str, value: i64) -> Result<(), MachineError> {
-        let reg = self
-            .program
-            .reg(name)
-            .ok_or_else(|| MachineError::UnknownName {
-                name: name.to_owned(),
-            })?;
+        let reg = self.program.reg(name).ok_or(MachineError::UnknownName)?;
         self.initial
             .as_mut()
             .expect("simulation already run")

@@ -91,8 +91,43 @@ fn spmv_random_engines_agree() {
 }
 
 #[test]
+fn spmv_powerlaw_engines_agree() {
+    assert_engines_agree("spmv-powerlaw");
+}
+
+#[test]
+fn spmv_arrowhead_engines_agree() {
+    assert_engines_agree("spmv-arrowhead");
+}
+
+#[test]
+fn mandelbrot_engines_agree() {
+    assert_engines_agree("mandelbrot");
+}
+
+#[test]
+fn kmeans_engines_agree() {
+    assert_engines_agree("kmeans");
+}
+
+#[test]
+fn srad_engines_agree() {
+    assert_engines_agree("srad");
+}
+
+#[test]
+fn floyd_warshall_large_engines_agree() {
+    assert_engines_agree("floyd-warshall-large");
+}
+
+#[test]
 fn mergesort_engines_agree() {
     assert_engines_agree("mergesort-uniform");
+}
+
+#[test]
+fn mergesort_exponential_engines_agree() {
+    assert_engines_agree("mergesort-exp");
 }
 
 #[test]
