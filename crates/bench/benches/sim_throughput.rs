@@ -5,7 +5,9 @@
 //! irregular fork-join recursion (`mergesort-uniform`), and an
 //! escape-time flat loop with data-dependent trip counts
 //! (`mandelbrot`). Writes `BENCH_sim_throughput.json` at the repo root
-//! with the measured speedups.
+//! with the measured speedups, the tracing-off throughput relative to
+//! the pre-trace baseline (the zero-cost-when-off check), and the
+//! slowdown with structured tracing recording.
 //!
 //! With `TPAL_BENCH_SMOKE=1` the bench runs each workload once per
 //! engine and asserts the engines agree — a CI-sized canary for decode
@@ -23,6 +25,17 @@ const CASES: [&str; 4] = [
     "floyd-warshall-small",
     "mergesort-uniform",
     "mandelbrot",
+];
+
+/// Event-engine throughput (instr/s) recorded by the previous bench run
+/// on this machine, before the trace subsystem landed. The tracing-off
+/// column of the JSON record reports the relative change against these —
+/// the "tracing off costs nothing" regression check.
+const BASELINE_INSTR_PER_SEC: [(&str, f64); 4] = [
+    ("plus-reduce-array", 186_024_958.0),
+    ("floyd-warshall-small", 212_638_181.0),
+    ("mergesort-uniform", 207_766_463.0),
+    ("mandelbrot", 180_049_343.0),
 ];
 
 fn config() -> SimConfig {
@@ -111,8 +124,11 @@ fn bench_sim_throughput(c: &mut Criterion) {
             "{name}: engines diverged under bench config"
         );
         let instructions = new_out.stats.instructions;
+        let mut traced_config = config;
+        traced_config.record_trace = true;
         let mut new_ns = u128::MAX;
         let mut ref_ns = u128::MAX;
+        let mut traced_ns = u128::MAX;
         for _ in 0..7 {
             let start = std::time::Instant::now();
             std::hint::black_box(run_engine!(Sim, lowered, spec, config).stats.instructions);
@@ -124,20 +140,40 @@ fn bench_sim_throughput(c: &mut Criterion) {
                     .instructions,
             );
             ref_ns = ref_ns.min(start.elapsed().as_nanos());
+            let start = std::time::Instant::now();
+            std::hint::black_box(
+                run_engine!(Sim, lowered, spec, traced_config)
+                    .stats
+                    .instructions,
+            );
+            traced_ns = traced_ns.min(start.elapsed().as_nanos());
         }
         let speedup = ref_ns as f64 / new_ns.max(1) as f64;
         let ips = |ns: u128| instructions as f64 * 1e9 / ns.max(1) as f64;
+        let baseline = BASELINE_INSTR_PER_SEC
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, b)| *b)
+            .expect("baseline recorded for every case");
+        // Positive = faster than the pre-trace baseline run.
+        let vs_baseline_pct = (ips(new_ns) / baseline - 1.0) * 100.0;
+        let tracing_overhead_pct = (traced_ns as f64 / new_ns.max(1) as f64 - 1.0) * 100.0;
         println!(
             "sim_throughput {name}: {instructions} instrs, \
-             event {:.1} Minstr/s, ref {:.1} Minstr/s, speedup {speedup:.1}x",
+             event {:.1} Minstr/s ({vs_baseline_pct:+.1}% vs pre-trace baseline), \
+             ref {:.1} Minstr/s, speedup {speedup:.1}x, \
+             tracing on {tracing_overhead_pct:+.1}%",
             ips(new_ns) / 1e6,
             ips(ref_ns) / 1e6,
         );
         entries.push(format!(
             "    {{\n      \"workload\": \"{name}\",\n      \"instructions\": {instructions},\n      \
              \"event_engine_ns\": {new_ns},\n      \"cycle_tick_ref_ns\": {ref_ns},\n      \
+             \"event_engine_traced_ns\": {traced_ns},\n      \
              \"event_engine_instr_per_sec\": {:.0},\n      \
-             \"cycle_tick_ref_instr_per_sec\": {:.0},\n      \"speedup\": {speedup:.2}\n    }}",
+             \"cycle_tick_ref_instr_per_sec\": {:.0},\n      \"speedup\": {speedup:.2},\n      \
+             \"tracing_off_vs_baseline_pct\": {vs_baseline_pct:.2},\n      \
+             \"tracing_on_overhead_pct\": {tracing_overhead_pct:.2}\n    }}",
             ips(new_ns),
             ips(ref_ns),
         ));

@@ -32,6 +32,14 @@ impl JoinId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(u32);
 
+impl NodeId {
+    /// Index into the record's node arena (stable for the record's
+    /// lifetime — usable as an external key, e.g. in trace events).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A task's position in the fork tree of one join record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Assoc {

@@ -102,6 +102,15 @@ impl HeartbeatCell {
         }
     }
 
+    /// Clears the delivery counter. Must be part of every stats reset:
+    /// delivery is counted here per worker rather than in the shared
+    /// [`Counters`](crate::stats::Counters), so resetting only the shared
+    /// counters would leave post-reset serviced/delivered ratios computed
+    /// against a stale cumulative denominator.
+    pub(crate) fn reset_delivery(&self) {
+        self.delivered.store(0, Ordering::Relaxed);
+    }
+
     /// Arms the local timer.
     pub(crate) fn arm(&self, interval_ticks: u64) {
         self.deadline

@@ -16,6 +16,8 @@ use std::sync::atomic::Ordering;
 
 use parking_lot::Mutex;
 
+use tpal_trace::EventKind;
+
 use crate::job::{latent_state, CountLatch, Job, LatentState};
 use crate::pool::{LatentSlot, WorkerCtx};
 
@@ -36,9 +38,17 @@ impl WorkerCtx<'_> {
             }
             self.poll_skip.set(31);
         }
-        self.shared.workers[self.id]
+        let due = self.shared.workers[self.id]
             .hb
-            .poll(self.shared.source, self.shared.interval_ticks)
+            .poll(self.shared.source, self.shared.interval_ticks);
+        // A local-timer beat is *delivered* at the expiry poll itself
+        // (ping deliveries are recorded by the ping thread at raise
+        // time, on the receiving worker's track).
+        if due && matches!(self.shared.source, crate::HeartbeatSource::LocalTimer) {
+            self.shared
+                .trace_event(self.id, EventKind::HeartbeatDelivered);
+        }
+        due
     }
 
     /// Promotes the oldest latent fork, if any. Returns whether a task
@@ -75,12 +85,23 @@ impl WorkerCtx<'_> {
         }
         let c = &self.shared.counters;
         c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .trace_event(self.id, EventKind::HeartbeatServiced);
         if self.shared.suppress_promotions {
             return false;
         }
         if self.promote_oldest_latent() {
             c.promotions.fetch_add(1, Ordering::Relaxed);
             c.tasks_created.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .trace_event(self.id, EventKind::TaskPromote { task: 0 });
+            self.shared.trace_event(
+                self.id,
+                EventKind::TaskSpawn {
+                    parent: 0,
+                    child: 0,
+                },
+            );
             true
         } else {
             false
@@ -251,6 +272,7 @@ impl WorkerCtx<'_> {
                 if ctx.heartbeat_due() {
                     let c = &ctx.shared.counters;
                     c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
+                    ctx.shared.trace_event(ctx.id, EventKind::HeartbeatServiced);
                     if ctx.shared.suppress_promotions {
                         // "Interrupts only": measure the mechanism, not
                         // the promotions.
@@ -258,6 +280,15 @@ impl WorkerCtx<'_> {
                         // Outermost-first: a latent fork took the beat.
                         c.promotions.fetch_add(1, Ordering::Relaxed);
                         c.tasks_created.fetch_add(1, Ordering::Relaxed);
+                        ctx.shared
+                            .trace_event(ctx.id, EventKind::TaskPromote { task: 0 });
+                        ctx.shared.trace_event(
+                            ctx.id,
+                            EventKind::TaskSpawn {
+                                parent: 0,
+                                child: 0,
+                            },
+                        );
                     } else if hi - lo >= 2 {
                         // Split the remaining range in half (Figure 2).
                         let mid = lo + (hi - lo) / 2;
@@ -270,6 +301,15 @@ impl WorkerCtx<'_> {
                         ctx.push_job(job);
                         c.promotions.fetch_add(1, Ordering::Relaxed);
                         c.tasks_created.fetch_add(1, Ordering::Relaxed);
+                        ctx.shared
+                            .trace_event(ctx.id, EventKind::TaskPromote { task: 0 });
+                        ctx.shared.trace_event(
+                            ctx.id,
+                            EventKind::TaskSpawn {
+                                parent: 0,
+                                child: 0,
+                            },
+                        );
                         hi = mid;
                     }
                 }
@@ -352,6 +392,13 @@ impl WorkerCtx<'_> {
             .counters
             .tasks_created
             .fetch_add(1, Ordering::Relaxed);
+        self.shared.trace_event(
+            self.id,
+            EventKind::TaskSpawn {
+                parent: 0,
+                child: 0,
+            },
+        );
         // SAFETY: the entry outlives the job (help_until below).
         let job = unsafe {
             Job::new(

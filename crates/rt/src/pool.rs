@@ -14,8 +14,9 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use tpal_deque::{deque, Steal, Stealer, Worker};
+use tpal_trace::{EventKind, SharedTracer, Trace};
 
-use crate::heartbeat::{calibrate_ticks_per_us, HeartbeatCell, HeartbeatSource};
+use crate::heartbeat::{calibrate_ticks_per_us, now_ticks, HeartbeatCell, HeartbeatSource};
 use crate::job::Job;
 use crate::stats::{Counters, RtStats};
 
@@ -39,6 +40,11 @@ pub struct RtConfig {
     /// optimisation — the §6 software-polling trade-off, measured by the
     /// `ablation_polling_stride` bench.
     pub poll_stride: usize,
+    /// Record structured scheduling events (deliveries, services,
+    /// promotions, task creations, steals) into a per-worker trace,
+    /// collected with [`Runtime::take_trace`]. Off by default: when off,
+    /// every record site is one `None` check and nothing is allocated.
+    pub trace: bool,
 }
 
 impl Default for RtConfig {
@@ -51,6 +57,7 @@ impl Default for RtConfig {
             source: HeartbeatSource::LocalTimer,
             suppress_promotions: false,
             poll_stride: 32,
+            trace: false,
         }
     }
 }
@@ -86,6 +93,12 @@ impl RtConfig {
         self.poll_stride = n.max(1);
         self
     }
+
+    /// Enables structured event tracing (see [`RtConfig::trace`]).
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.trace = yes;
+        self
+    }
 }
 
 pub(crate) struct WorkerShared {
@@ -105,6 +118,10 @@ pub(crate) struct Shared {
     pub suppress_promotions: bool,
     pub poll_stride: usize,
     pub rng_salt: AtomicU64,
+    /// Structured event recording (None unless [`RtConfig::trace`]).
+    pub tracer: Option<SharedTracer>,
+    /// Timestamp origin for trace event times.
+    pub start_ticks: u64,
 }
 
 impl Shared {
@@ -114,6 +131,33 @@ impl Shared {
             self.sleep_cv.notify_all();
         }
     }
+
+    /// Records one instant event on `worker`'s track, timestamped in
+    /// ticks since runtime start. One `None` check when tracing is off.
+    #[inline]
+    pub(crate) fn trace_event(&self, worker: usize, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(
+                worker,
+                now_ticks().saturating_sub(self.start_ticks),
+                0,
+                kind,
+            );
+        }
+    }
+}
+
+/// The victim probe order for worker `id` in a pool of `n`: every one of
+/// the other `n - 1` workers exactly once, starting at a salt-chosen
+/// offset (so concurrent thieves spread out). Empty for `n <= 1`.
+///
+/// The offsets `1 + (salt + k) % (n - 1)` for `k in 0..n-1` hit each of
+/// `1..n` exactly once, so the sequence can neither probe the same victim
+/// twice nor yield `id` itself. (An earlier version iterated `k in 0..n`,
+/// re-probing its first victim on the final iteration — a wasted steal
+/// attempt per failed round — and carried a dead `v == id` guard.)
+pub(crate) fn victim_sequence(id: usize, n: usize, salt: usize) -> impl Iterator<Item = usize> {
+    (0..n.saturating_sub(1)).map(move |k| (id + 1 + (salt + k) % (n - 1)) % n)
 }
 
 thread_local! {
@@ -186,15 +230,13 @@ impl<'a> WorkerCtx<'a> {
         let n = self.shared.workers.len();
         if n > 1 {
             let salt = self.shared.rng_salt.fetch_add(1, Ordering::Relaxed);
-            for k in 0..n {
-                let v = (self.id + 1 + (salt as usize + k) % (n - 1)) % n;
-                if v == self.id {
-                    continue;
-                }
+            for v in victim_sequence(self.id, n, salt as usize) {
                 loop {
                     match self.shared.workers[v].stealer.steal() {
                         Steal::Success(job) => {
                             self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+                            self.shared
+                                .trace_event(self.id, EventKind::Steal { victim: v as u32 });
                             return Some(job);
                         }
                         Steal::Retry => continue,
@@ -253,6 +295,10 @@ impl Runtime {
             suppress_promotions: config.suppress_promotions,
             poll_stride: config.poll_stride.max(1),
             rng_salt: AtomicU64::new(0x9E3779B9),
+            tracer: config
+                .trace
+                .then(|| SharedTracer::new(config.workers, "ticks", interval_ticks.max(1))),
+            start_ticks: now_ticks(),
         });
 
         let mut handles = Vec::new();
@@ -349,11 +395,25 @@ impl Runtime {
     }
 
     /// Resets the instrumentation counters (between benchmark trials).
+    ///
+    /// Covers both the shared counters and each worker's per-cell
+    /// delivery count — delivery lives on the cells, and a reset that
+    /// misses them leaves every later [`Runtime::stats`] snapshot with a
+    /// cumulative `heartbeats_delivered` against freshly zeroed serviced
+    /// counts (the `stats_reset_isolates_trials` regression test).
     pub fn reset_stats(&self) {
         self.shared.counters.reset();
         for w in &self.shared.workers {
-            w.hb.delivered.store(0, Ordering::Relaxed);
+            w.hb.reset_delivery();
         }
+    }
+
+    /// Collects and drains the structured event trace. `None` unless the
+    /// runtime was built with [`RtConfig::trace`]. Call after `run`
+    /// returns: events from still-running jobs may otherwise land in
+    /// either this collection or the next.
+    pub fn take_trace(&self) -> Option<Trace> {
+        self.shared.tracer.as_ref().map(SharedTracer::collect)
     }
 
     /// The configured worker count.
@@ -403,8 +463,48 @@ fn ping_main(shared: Arc<Shared>, interval: Duration) {
     // sleep granularity, exactly the effect §4.4 measures).
     while !shared.shutdown.load(Ordering::Acquire) {
         std::thread::sleep(interval);
-        for w in &shared.workers {
+        for (i, w) in shared.workers.iter().enumerate() {
             w.hb.raise();
+            shared.trace_event(i, EventKind::HeartbeatDelivered);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::victim_sequence;
+
+    /// Satellite regression: the probe order must cover each of the
+    /// other workers exactly once — no duplicate probe, never self, and
+    /// no division by zero for a single-worker pool.
+    #[test]
+    fn victim_sequence_covers_others_exactly_once() {
+        for n in 1..=3usize {
+            for id in 0..n {
+                for salt in 0..7usize {
+                    let seq: Vec<usize> = victim_sequence(id, n, salt).collect();
+                    assert_eq!(seq.len(), n - 1, "n={n} id={id} salt={salt}");
+                    assert!(!seq.contains(&id), "self-probe: n={n} id={id} {seq:?}");
+                    let mut sorted = seq.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), n - 1, "duplicate probe: {seq:?}");
+                    for v in &seq {
+                        assert!(*v < n, "out of range: {seq:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Different salts rotate the starting victim, so concurrent thieves
+    /// spread over victims instead of convoying.
+    #[test]
+    fn victim_sequence_salt_rotates_start() {
+        let n = 3;
+        let starts: std::collections::BTreeSet<usize> = (0..2)
+            .map(|salt| victim_sequence(0, n, salt).next().unwrap())
+            .collect();
+        assert_eq!(starts.len(), 2, "salt must vary the first victim");
     }
 }

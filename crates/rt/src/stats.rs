@@ -1,50 +1,14 @@
 //! Runtime instrumentation counters.
+//!
+//! The counter types migrated to `tpal-trace` (the shared trace layer),
+//! so the simulator-side metrics and the native runtime read the same
+//! definitions; this module keeps the runtime's historical names.
+//!
+//! Heartbeat *delivery* is counted per worker on its
+//! [`HeartbeatCell`](crate::heartbeat::HeartbeatCell); `Runtime::stats`
+//! sums the cells into the snapshot's `heartbeats_delivered`, and
+//! `Runtime::reset_stats` must clear those cells alongside the shared
+//! counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Shared atomic counters, read back as [`RtStats`].
-#[derive(Debug, Default)]
-pub(crate) struct Counters {
-    pub promotions: AtomicU64,
-    pub tasks_created: AtomicU64,
-    pub steals: AtomicU64,
-    pub heartbeats_serviced: AtomicU64,
-}
-
-impl Counters {
-    pub(crate) fn snapshot(&self, delivered: u64) -> RtStats {
-        RtStats {
-            promotions: self.promotions.load(Ordering::Relaxed),
-            tasks_created: self.tasks_created.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            heartbeats_serviced: self.heartbeats_serviced.load(Ordering::Relaxed),
-            heartbeats_delivered: delivered,
-        }
-    }
-
-    pub(crate) fn reset(&self) {
-        self.promotions.store(0, Ordering::Relaxed);
-        self.tasks_created.store(0, Ordering::Relaxed);
-        self.steals.store(0, Ordering::Relaxed);
-        self.heartbeats_serviced.store(0, Ordering::Relaxed);
-    }
-}
-
-/// A snapshot of the runtime's counters (see
-/// [`Runtime::stats`](crate::Runtime::stats)).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RtStats {
-    /// Heartbeat events that performed a promotion.
-    pub promotions: u64,
-    /// Tasks actually created (promoted latent calls and loop splits) —
-    /// the paper's Figure 15a quantity.
-    pub tasks_created: u64,
-    /// Successful steals between workers.
-    pub steals: u64,
-    /// Heartbeat flags observed (serviced) at promotion points.
-    pub heartbeats_serviced: u64,
-    /// Heartbeats delivered by the source (ping signals sent or local
-    /// timer expirations) — with `heartbeats_serviced`, the Figure 10
-    /// quantities.
-    pub heartbeats_delivered: u64,
-}
+pub(crate) use tpal_trace::SchedCounters as Counters;
+pub use tpal_trace::SchedStats as RtStats;

@@ -178,6 +178,85 @@ fn stats_reset() {
 }
 
 #[test]
+fn stats_reset_isolates_trials() {
+    // Regression: a reset must clear per-worker delivery cells, not only
+    // the shared counters. Run a workload, reset, run another — the
+    // post-reset snapshot must reflect the second run alone. A reset that
+    // skips `HeartbeatCell::delivered` fails here: the first run's
+    // deliveries leak into the second snapshot, pushing `delivered` far
+    // past what one trial plus the idle window in between can produce.
+    let work = |rt: &Runtime, n: usize| {
+        std::hint::black_box(rt.run(move |ctx| {
+            ctx.reduce(
+                0..n,
+                0u64,
+                |_, i, a| a ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                |a, b| a ^ b,
+            )
+        }));
+    };
+    let rt = rt(2, HeartbeatSource::LocalTimer, 50);
+    // Long first trial, short second: delivery counts scale with trial
+    // length, so a snapshot contaminated by the first trial cannot stay
+    // below the first trial's own count.
+    work(&rt, 20_000_000);
+    let first = rt.stats();
+    assert!(first.heartbeats_delivered > 0, "{first:?}");
+
+    rt.reset_stats();
+    assert_eq!(
+        rt.stats().heartbeats_delivered,
+        0,
+        "reset must zero delivery"
+    );
+    work(&rt, 1_000_000);
+    let second = rt.stats();
+    assert!(second.heartbeats_delivered > 0, "{second:?}");
+    // A leaked first trial would make `second >= first`; a clean reset
+    // leaves roughly a twentieth (plus a few idle-window expiries).
+    assert!(
+        second.heartbeats_delivered < first.heartbeats_delivered,
+        "delivered {} after reset vs {} in the 20x longer first trial: first trial leaked",
+        second.heartbeats_delivered,
+        first.heartbeats_delivered
+    );
+}
+
+#[test]
+fn trace_records_scheduling_events() {
+    // Tracing on: a promoting workload must leave delivered/serviced
+    // events consistent with the counter snapshot, and tracing must
+    // default to off (take_trace -> None).
+    let rt = Runtime::new(
+        RtConfig::default()
+            .workers(2)
+            .source(HeartbeatSource::LocalTimer)
+            .heartbeat(Duration::from_micros(50))
+            .trace(true),
+    );
+    let n = 3_000_000usize;
+    let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    let stats = rt.stats();
+    let trace = rt.take_trace().expect("tracing was enabled");
+    assert_eq!(trace.tracks.len(), 2);
+    let report = tpal_trace::MetricsReport::from_trace(&trace);
+    assert_eq!(report.heartbeats_serviced, stats.heartbeats_serviced);
+    assert_eq!(report.tasks_created, stats.tasks_created);
+    assert_eq!(report.promotions, stats.promotions);
+    // Delivery events cover at least the beats the workers consumed
+    // (counter and event are recorded at the same poll for LocalTimer;
+    // idle-window expiries can add more on the counter read later).
+    assert!(report.heartbeats_delivered > 0);
+    // Chrome rendering of a runtime trace must validate like a sim one.
+    let json = tpal_trace::chrome::chrome_json(&trace);
+    tpal_trace::chrome::validate(&json).expect("runtime trace renders valid Chrome JSON");
+
+    let untraced = crate::rt(2, HeartbeatSource::LocalTimer, 50);
+    assert!(untraced.take_trace().is_none(), "tracing defaults to off");
+}
+
+#[test]
 fn many_workers_oversubscribed() {
     // More workers than cores (this machine has one): correctness must
     // not depend on real parallelism.

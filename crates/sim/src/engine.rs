@@ -28,6 +28,8 @@ use tpal_core::machine::{
 };
 use tpal_core::program::Program;
 
+use tpal_trace::{EventKind, OverheadKind, Trace, TraceBuilder};
+
 use crate::rng::SplitMix64;
 use crate::timeline::{Activity, Timeline};
 
@@ -85,6 +87,11 @@ pub struct SimConfig {
     /// Record a per-core activity [`Timeline`] (bucketed at ♥/2 cycles)
     /// in the outcome. Costs one branch per cycle and O(time/♥) memory.
     pub record_timeline: bool,
+    /// Record a full structured [`Trace`] (task lifecycle events and
+    /// per-core activity spans) in the outcome. Off by default: when
+    /// off, every record site is one `Option`/`None` branch and nothing
+    /// is allocated; when on, memory is O(events).
+    pub record_trace: bool,
     /// Which promotion-ready mark `prmsplit` pops: the paper's
     /// outermost-first policy (§2.3) or its innermost-first ablation.
     pub promotion_order: PromotionOrder,
@@ -103,6 +110,7 @@ impl Default for SimConfig {
             seed: 0xDEC0DE,
             step_limit: 20_000_000_000,
             record_timeline: false,
+            record_trace: false,
             promotion_order: PromotionOrder::OldestFirst,
         }
     }
@@ -186,6 +194,13 @@ pub struct SimOutcome {
     /// Per-core activity timeline, when
     /// [`SimConfig::record_timeline`] was set.
     pub timeline: Option<Timeline>,
+    /// Structured event trace, when [`SimConfig::record_trace`] was set.
+    pub trace: Option<Trace>,
+    /// Total work T₁ of the computation in cycles (the machine's own
+    /// fork/join-threaded accounting, τ = 0 — instruction cycles only).
+    pub work: u64,
+    /// Critical-path span T∞ in cycles (same accounting).
+    pub span: u64,
     pub(crate) final_regs: Vec<(String, Value)>,
 }
 
@@ -233,6 +248,12 @@ impl SimOutcome {
     /// instruction stream).
     pub fn speedup_base(&self) -> f64 {
         self.stats.work_cycles as f64 / self.time.max(1) as f64
+    }
+
+    /// Available parallelism T₁/T∞ of the computation itself (what an
+    /// ideal scheduler could exploit, independent of this run's `P`).
+    pub fn parallelism(&self) -> f64 {
+        self.work as f64 / self.span.max(1) as f64
     }
 }
 
@@ -380,6 +401,27 @@ impl<'p> Sim<'p> {
             };
         }
 
+        // Structured event tracing. Task identity is tracked *beside* the
+        // task states (per-core current id + an id deque mirroring each
+        // work deque) and only when tracing is on, so the traced-off path
+        // is exactly the code above plus one `None` branch per site.
+        let mut tracer = if cfg.record_trace {
+            Some(TraceBuilder::new(cfg.cores, "cycles", cfg.heartbeat))
+        } else {
+            None
+        };
+        let mut next_task_id: u64 = 1; // the initial task is id 0
+        let mut current_id: Vec<u64> = vec![0; cfg.cores];
+        let mut queued_ids: Vec<std::collections::VecDeque<u64>> =
+            vec![std::collections::VecDeque::new(); cfg.cores];
+        macro_rules! tev {
+            ($core:expr, $ts:expr, $dur:expr, $kind:expr) => {
+                if let Some(tb) = &mut tracer {
+                    tb.record($core, $ts, $dur, $kind);
+                }
+            };
+        }
+
         // Settles core `$p`'s pending retries at virtual times strictly
         // before `$bound`. Each settled retry charges the same counters
         // and timeline record as a live failed steal and advances the RNG
@@ -398,6 +440,14 @@ impl<'p> Sim<'p> {
                     if let Some(tl) = &mut timeline {
                         for i in 0..k {
                             tl.record($p, next + i * retry, Activity::Idle, retry);
+                        }
+                    }
+                    if let Some(tb) = &mut tracer {
+                        // Settled retroactively: these idle spans carry
+                        // later sequence numbers than events at greater
+                        // timestamps, which is why renderers sort by ts.
+                        for i in 0..k {
+                            tb.record($p, next + i * retry, retry, EventKind::Idle);
                         }
                     }
                     cores[$p].busy_until = next + k * retry;
@@ -498,6 +548,15 @@ impl<'p> Sim<'p> {
                         stats.heartbeats_delivered += 1;
                         stats.overhead_cycles += service_cost;
                         trace!(ci, now, Activity::Overhead, service_cost);
+                        tev!(ci, now, 0, EventKind::HeartbeatDelivered);
+                        tev!(
+                            ci,
+                            now,
+                            service_cost,
+                            EventKind::Overhead {
+                                what: OverheadKind::Interrupt
+                            }
+                        );
                         queue.push(Reverse(Event {
                             // `.max(now + 1)`: with ♥ = 0 the reference
                             // still delivers at most once per cycle.
@@ -522,6 +581,15 @@ impl<'p> Sim<'p> {
                         stats.heartbeats_delivered += 1;
                         stats.overhead_cycles += service_cost;
                         trace!(ci, now, Activity::Overhead, service_cost);
+                        tev!(ci, now, 0, EventKind::HeartbeatDelivered);
+                        tev!(
+                            ci,
+                            now,
+                            service_cost,
+                            EventKind::Overhead {
+                                what: OverheadKind::Interrupt
+                            }
+                        );
                         let delay = latency + if jitter > 0 { rng.below(jitter + 1) } else { 0 };
                         ping_next_core += 1;
                         if ping_next_core == cfg.cores {
@@ -560,6 +628,9 @@ impl<'p> Sim<'p> {
                     // Own pop is free; the task runs this very cycle.
                     queued -= 1;
                     cores[c].current = Some(t);
+                    if tracer.is_some() {
+                        current_id[c] = queued_ids[c].pop_back().expect("id mirrors deque");
+                    }
                 } else if cfg.cores > 1 {
                     if queued == 0 && cfg.steal_retry_cost > 0 {
                         // Every deque is empty: this attempt and every
@@ -586,12 +657,33 @@ impl<'p> Sim<'p> {
                             stats.steals += 1;
                             stats.overhead_cycles += cfg.steal_cost;
                             trace!(c, now, Activity::Overhead, cfg.steal_cost);
+                            if tracer.is_some() {
+                                current_id[c] =
+                                    queued_ids[victim].pop_front().expect("id mirrors deque");
+                            }
+                            tev!(
+                                c,
+                                now,
+                                0,
+                                EventKind::Steal {
+                                    victim: victim as u32
+                                }
+                            );
+                            tev!(
+                                c,
+                                now,
+                                cfg.steal_cost,
+                                EventKind::Overhead {
+                                    what: OverheadKind::Steal
+                                }
+                            );
                         }
                         None => {
                             cores[c].busy_until = now + cfg.steal_retry_cost;
                             stats.failed_steals += 1;
                             stats.idle_cycles += cfg.steal_retry_cost;
                             trace!(c, now, Activity::Idle, cfg.steal_retry_cost);
+                            tev!(c, now, cfg.steal_retry_cost, EventKind::Idle);
                             // With a zero retry cost the reference's
                             // end-of-cycle starvation check can fire (all
                             // cores free, empty, and idle this cycle);
@@ -627,6 +719,15 @@ impl<'p> Sim<'p> {
                     task.divert_to_handler(handler);
                     cores[c].hb_flag = false;
                     stats.promotions += 1;
+                    tev!(c, now, 0, EventKind::HeartbeatServiced);
+                    tev!(
+                        c,
+                        now,
+                        0,
+                        EventKind::TaskPromote {
+                            task: current_id[c]
+                        }
+                    );
                 }
             }
 
@@ -656,6 +757,14 @@ impl<'p> Sim<'p> {
                 if let Some(tl) = &mut timeline {
                     tl.record_span(c, now, Activity::Work, steps);
                 }
+                tev!(
+                    c,
+                    now,
+                    steps,
+                    EventKind::Work {
+                        task: current_id[c]
+                    }
+                );
                 if stats.instructions > cfg.step_limit {
                     return Err(MachineError::StepLimitExceeded {
                         limit: cfg.step_limit,
@@ -690,6 +799,14 @@ impl<'p> Sim<'p> {
                             stats.instructions += 1;
                             stats.work_cycles += 1;
                             trace!(c, now, Activity::Work, 1);
+                            tev!(
+                                c,
+                                now,
+                                1,
+                                EventKind::Work {
+                                    task: current_id[c]
+                                }
+                            );
                             cores[c].busy_until = now + 1;
                             cores[c].current = Some(task);
                             push_action(&mut queue, c, now + 1);
@@ -698,12 +815,28 @@ impl<'p> Sim<'p> {
                             stats.instructions += 1;
                             stats.work_cycles += 1;
                             trace!(c, now, Activity::Work, 1);
+                            tev!(
+                                c,
+                                now,
+                                1,
+                                EventKind::Work {
+                                    task: current_id[c]
+                                }
+                            );
                             // The counters become the outcome: settle
                             // every parked core's retries up to the
                             // halt (earlier cores' attempts this very
                             // cycle included, as in the reference's
                             // in-order scan).
                             flush_parked!(ev);
+                            tev!(
+                                c,
+                                now,
+                                0,
+                                EventKind::TaskEnd {
+                                    task: current_id[c]
+                                }
+                            );
                             halted = task;
                             end_time = now;
                             break 'sim;
@@ -713,6 +846,36 @@ impl<'p> Sim<'p> {
                             stats.work_cycles += 1;
                             trace!(c, now, Activity::Work, 1);
                             trace!(c, now, Activity::Overhead, cfg.fork_cost);
+                            if tracer.is_some() {
+                                let child_id = next_task_id;
+                                next_task_id += 1;
+                                queued_ids[c].push_back(child_id);
+                                tev!(
+                                    c,
+                                    now,
+                                    1,
+                                    EventKind::Work {
+                                        task: current_id[c]
+                                    }
+                                );
+                                tev!(
+                                    c,
+                                    now,
+                                    0,
+                                    EventKind::TaskSpawn {
+                                        parent: current_id[c],
+                                        child: child_id
+                                    }
+                                );
+                                tev!(
+                                    c,
+                                    now,
+                                    cfg.fork_cost,
+                                    EventKind::Overhead {
+                                        what: OverheadKind::Fork
+                                    }
+                                );
+                            }
                             stats.forks += 1;
                             cores[c].deque.push_back(*child);
                             queued += 1;
@@ -745,19 +908,87 @@ impl<'p> Sim<'p> {
                             stats.work_cycles += 1;
                             trace!(c, now, Activity::Work, 1);
                             trace!(c, now, Activity::Overhead, cfg.join_cost);
+                            tev!(
+                                c,
+                                now,
+                                1,
+                                EventKind::Work {
+                                    task: current_id[c]
+                                }
+                            );
+                            tev!(
+                                c,
+                                now,
+                                cfg.join_cost,
+                                EventKind::Overhead {
+                                    what: OverheadKind::Join
+                                }
+                            );
                             stats.joins += 1;
                             cores[c].busy_until = now + 1 + cfg.join_cost;
                             stats.overhead_cycles += cfg.join_cost;
+                            // The fork-tree node this task sits on, read
+                            // before resolution consumes the task (trace
+                            // runs only; `Root` means a completing join).
+                            let assoc = if tracer.is_some() {
+                                task.assoc(jr)
+                            } else {
+                                None
+                            };
+                            let node = |a| match a {
+                                Some(tpal_core::machine::Assoc::Node { node, .. }) => {
+                                    node.index() as u32
+                                }
+                                _ => 0,
+                            };
                             match resolve_join(self.program, task, jr, &mut self.stores, 0)? {
                                 JoinResolution::TaskDied => {
                                     live_tasks -= 1;
+                                    tev!(
+                                        c,
+                                        now,
+                                        0,
+                                        EventKind::JoinStash {
+                                            task: current_id[c],
+                                            node: node(assoc)
+                                        }
+                                    );
                                 }
                                 JoinResolution::Merged(t) => {
                                     stats.merges += 1;
                                     cores[c].current = Some(*t);
+                                    if tracer.is_some() {
+                                        let merged = next_task_id;
+                                        next_task_id += 1;
+                                        tev!(
+                                            c,
+                                            now,
+                                            0,
+                                            EventKind::JoinMerge {
+                                                task: current_id[c],
+                                                node: node(assoc),
+                                                merged
+                                            }
+                                        );
+                                        current_id[c] = merged;
+                                    }
                                 }
                                 JoinResolution::Completed(t) => {
                                     cores[c].current = Some(*t);
+                                    if tracer.is_some() {
+                                        let resumed = next_task_id;
+                                        next_task_id += 1;
+                                        tev!(
+                                            c,
+                                            now,
+                                            0,
+                                            EventKind::JoinContinue {
+                                                task: current_id[c],
+                                                resumed
+                                            }
+                                        );
+                                        current_id[c] = resumed;
+                                    }
                                 }
                             }
                             push_action(&mut queue, c, cores[c].busy_until);
@@ -785,6 +1016,11 @@ impl<'p> Sim<'p> {
             cores: cfg.cores,
             heartbeat: cfg.heartbeat,
             timeline,
+            trace: tracer.map(TraceBuilder::finish),
+            // The halting task's fork/join-threaded counters are the
+            // whole computation's totals (τ = 0 in this engine).
+            work: halted.rel_work,
+            span: halted.rel_span,
             final_regs,
         })
     }

@@ -307,6 +307,12 @@ impl<'p> SimRef<'p> {
             cores: cfg.cores,
             heartbeat: cfg.heartbeat,
             timeline,
+            // The reference engine predates structured tracing and keeps
+            // the cycle-tick loop minimal; the machine's work/span
+            // accounting is engine-independent, so those still apply.
+            trace: None,
+            work: halted.rel_work,
+            span: halted.rel_span,
             final_regs,
         })
     }

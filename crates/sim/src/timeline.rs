@@ -26,7 +26,7 @@ impl Bucket {
 }
 
 /// A per-core, bucketed activity record of one simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timeline {
     bucket_cycles: u64,
     per_core: Vec<Vec<Bucket>>,
@@ -70,6 +70,33 @@ impl Timeline {
             t += chunk;
             remaining -= chunk;
         }
+    }
+
+    /// Rebuilds a timeline from a recorded structured trace, bucketing
+    /// the activity spans exactly as the engine does live: work spans
+    /// split across bucket boundaries ([`Timeline::record_span`]),
+    /// overhead and idle charged whole to the bucket containing their
+    /// start. A trace-recording run therefore yields the same timeline
+    /// whether built live (`record_timeline`) or from its trace.
+    pub fn from_trace(trace: &tpal_trace::Trace, bucket_cycles: u64) -> Timeline {
+        let mut tl = Timeline::new(trace.tracks.len(), bucket_cycles);
+        for (core, track) in trace.tracks.iter().enumerate() {
+            for e in &track.events {
+                match e.kind {
+                    tpal_trace::EventKind::Work { .. } => {
+                        tl.record_span(core, e.ts, Activity::Work, e.dur);
+                    }
+                    tpal_trace::EventKind::Overhead { .. } => {
+                        tl.record(core, e.ts, Activity::Overhead, e.dur);
+                    }
+                    tpal_trace::EventKind::Idle => {
+                        tl.record(core, e.ts, Activity::Idle, e.dur);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        tl
     }
 
     /// The bucket size in cycles.
@@ -220,6 +247,28 @@ mod tests {
         }
         for core in 0..2 {
             assert_eq!(batched.core(core), reference.core(core), "core {core}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// For arbitrary (start, cycles, bucket size), one `record_span`
+        /// call equals `cycles` unit `record` calls — the equivalence the
+        /// batching engine's timeline charging rests on.
+        #[test]
+        fn record_span_equals_per_cycle_record(
+            start in 0u64..10_000,
+            cycles in 0u64..2_000,
+            bucket in 1u64..512,
+        ) {
+            let mut batched = Timeline::new(1, bucket);
+            let mut reference = Timeline::new(1, bucket);
+            batched.record_span(0, start, Activity::Work, cycles);
+            for i in 0..cycles {
+                reference.record(0, start + i, Activity::Work, 1);
+            }
+            proptest::prop_assert_eq!(batched.core(0), reference.core(0));
         }
     }
 

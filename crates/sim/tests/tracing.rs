@@ -1,0 +1,160 @@
+//! End-to-end tests of the structured trace subsystem on the simulator:
+//! Chrome-schema validity of rendered traces, byte-level determinism,
+//! consistency of the trace-derived metrics with the engine's own
+//! counters, the TASKPROF-style work/span fold against the machine's
+//! fork/join-threaded accounting, and timeline reconstruction.
+
+use tpal_ir::lower::{lower, Mode};
+use tpal_sim::{Sim, SimConfig, SimOutcome};
+use tpal_trace::{chrome, MetricsReport, WorkSpanProfile};
+use tpal_workloads::{workload, Scale};
+
+/// Workloads the profiler cross-check runs on (the ISSUE's "≥ 4
+/// workloads"): two loop-based, one recursive, one stencil-ish.
+const WORKLOADS: [&str; 4] = [
+    "plus-reduce-array",
+    "floyd-warshall-small",
+    "mergesort-uniform",
+    "mandelbrot",
+];
+
+fn run_workload(name: &str, config: SimConfig) -> SimOutcome {
+    let spec = workload(name)
+        .expect("known workload")
+        .sim_spec(Scale::Quick);
+    let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap_or_else(|e| panic!("lowering: {e}"));
+    let mut sim = Sim::new(&lowered.program, config);
+    for (pname, data) in &spec.input.arrays {
+        let base = sim.alloc_array(data);
+        sim.set_reg(&lowered.param_reg(pname), base).unwrap();
+    }
+    for (pname, v) in &spec.input.ints {
+        sim.set_reg(&lowered.param_reg(pname), *v).unwrap();
+    }
+    let out = sim.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(
+        out.read_reg(&lowered.result_reg),
+        Some(spec.expected),
+        "{name} checksum"
+    );
+    out
+}
+
+fn traced(cores: usize) -> SimConfig {
+    let mut c = SimConfig::nautilus(cores, 3_000);
+    c.record_trace = true;
+    c
+}
+
+/// The ISSUE's acceptance scenario: a 4-core mergesort run yields a
+/// Chrome trace with one named track per core that passes validation.
+#[test]
+fn mergesort_chrome_trace_has_per_core_tracks() {
+    let out = run_workload("mergesort-uniform", traced(4));
+    let trace = out.trace.expect("record_trace was set");
+    assert_eq!(trace.tracks.len(), 4);
+    for (i, track) in trace.tracks.iter().enumerate() {
+        assert_eq!(track.name, format!("core {i}"));
+        assert!(!track.events.is_empty(), "core {i} recorded nothing");
+    }
+    let json = chrome::chrome_json(&trace);
+    let n = chrome::validate(&json).expect("schema-valid Chrome trace");
+    assert!(n > trace.tracks.len(), "more than just metadata records");
+}
+
+/// Every figure quantity computed from the trace must agree with the
+/// engine's own counters — same stream, no drift.
+#[test]
+fn trace_metrics_agree_with_sim_stats() {
+    for name in ["plus-reduce-array", "mergesort-uniform"] {
+        let out = run_workload(name, traced(4));
+        let trace = out.trace.as_ref().expect("trace recorded");
+        let r = MetricsReport::from_trace(trace);
+        assert_eq!(
+            r.heartbeats_delivered, out.stats.heartbeats_delivered,
+            "{name}"
+        );
+        assert_eq!(r.tasks_created, out.stats.forks, "{name}");
+        assert_eq!(r.promotions, out.stats.promotions, "{name}");
+        assert_eq!(r.heartbeats_serviced, out.stats.promotions, "{name}");
+        assert_eq!(r.steals, out.stats.steals, "{name}");
+        assert_eq!(r.join_merges, out.stats.merges, "{name}");
+        assert_eq!(
+            r.join_stashes + r.join_merges + r.join_continues,
+            out.stats.joins,
+            "{name}: every join stashes, merges, or continues"
+        );
+        let t = r.totals();
+        assert_eq!(t.work, out.stats.work_cycles, "{name}");
+        assert_eq!(t.overhead, out.stats.overhead_cycles, "{name}");
+        assert_eq!(t.idle, out.stats.idle_cycles, "{name}");
+        // Charged spans can run up to (or past) the halt cycle, so the
+        // trace horizon is at least the makespan.
+        assert!(r.makespan >= out.time, "{name}");
+    }
+}
+
+/// The TASKPROF-style DAG fold over trace events must reproduce the
+/// machine's own fork/join-threaded work/span totals exactly, and work
+/// must equal executed instruction cycles.
+#[test]
+fn work_span_profile_matches_machine_accounting() {
+    for name in WORKLOADS {
+        let out = run_workload(name, traced(4));
+        let p = WorkSpanProfile::from_trace(out.trace.as_ref().unwrap());
+        assert!(p.complete, "{name}: halt recorded");
+        assert_eq!(p.work, out.work, "{name}: work");
+        assert_eq!(p.span, out.span, "{name}: span");
+        assert_eq!(p.work, out.stats.work_cycles, "{name}: work = instructions");
+        assert_eq!(p.tasks, out.stats.forks + 1, "{name}: tasks");
+        assert!(p.span <= p.work, "{name}");
+        assert!(
+            p.parallelism() > 1.0,
+            "{name}: promoted runs must expose parallelism, got {}",
+            p.parallelism()
+        );
+    }
+}
+
+/// Two runs with identical config and seed must serialize to the very
+/// same bytes — the determinism the differential suites (and CI's trace
+/// artifact diffing) rely on.
+#[test]
+fn chrome_trace_bytes_deterministic_per_seed() {
+    let render = || {
+        let out = run_workload("mergesort-uniform", traced(4));
+        chrome::chrome_json(out.trace.as_ref().unwrap())
+    };
+    let a = render();
+    let b = render();
+    assert!(a == b, "same seed, different trace bytes");
+}
+
+/// A timeline rebuilt from the trace must equal the one recorded live —
+/// the trace subsumes the older bucketed instrumentation.
+#[test]
+fn timeline_from_trace_matches_live_recording() {
+    let mut config = traced(4);
+    config.record_timeline = true;
+    let out = run_workload("plus-reduce-array", config);
+    let live = out.timeline.as_ref().expect("timeline recorded");
+    let rebuilt = tpal_sim::Timeline::from_trace(
+        out.trace.as_ref().expect("trace recorded"),
+        live.bucket_cycles(),
+    );
+    assert_eq!(&rebuilt, live);
+}
+
+/// Tracing must not perturb the simulation: identical makespan, stats,
+/// and registers with recording on and off (the zero-cost-when-off
+/// guarantee, semantically).
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let plain = run_workload("mergesort-uniform", SimConfig::nautilus(4, 3_000));
+    let traced = run_workload("mergesort-uniform", traced(4));
+    assert!(plain.trace.is_none(), "tracing defaults to off");
+    assert_eq!(plain.time, traced.time);
+    assert_eq!(plain.stats, traced.stats);
+    assert_eq!(plain.final_regs(), traced.final_regs());
+    assert_eq!((plain.work, plain.span), (traced.work, traced.span));
+}

@@ -1,0 +1,33 @@
+//! Validates Chrome trace_event JSON files produced by `--trace`.
+//!
+//! Usage: `validate_trace FILE...` — exits nonzero on the first file
+//! that fails schema validation (well-formed JSON, required keys per
+//! event, monotone timestamps per track). CI runs this on a freshly
+//! recorded simulator trace.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace FILE...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match tpal_trace::chrome::validate(&text) {
+            Ok(n) => println!("{path}: ok ({n} events)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,114 @@
+//! Always-on atomic scheduler counters.
+//!
+//! These migrated here from `tpal-rt`'s private `stats` module: the
+//! cheap cumulative counters a runtime keeps even when event recording
+//! is off, snapshot as [`SchedStats`]. The event layer ([`crate::event`])
+//! supersedes them for anything time-resolved; the counters remain the
+//! zero-configuration path the benches read between trials.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, read back as [`SchedStats`].
+///
+/// Heartbeat *delivery* is intentionally not here: delivery is counted
+/// per worker (each delivery targets one worker's heartbeat cell), so
+/// the owner passes the summed value to [`SchedCounters::snapshot`] —
+/// and must reset those per-worker cells alongside [`SchedCounters::reset`],
+/// or post-reset Fig.-10 serviced/delivered ratios are computed against
+/// a stale cumulative denominator.
+#[derive(Debug, Default)]
+pub struct SchedCounters {
+    /// Heartbeat events that performed a promotion.
+    pub promotions: AtomicU64,
+    /// Tasks actually created (promoted latent calls and loop splits).
+    pub tasks_created: AtomicU64,
+    /// Successful steals between workers.
+    pub steals: AtomicU64,
+    /// Heartbeat flags observed (serviced) at promotion points.
+    pub heartbeats_serviced: AtomicU64,
+}
+
+impl SchedCounters {
+    /// A coherent-enough snapshot (individual relaxed loads; exact once
+    /// the workers are quiescent). `delivered` is the per-worker
+    /// delivery total supplied by the owner.
+    pub fn snapshot(&self, delivered: u64) -> SchedStats {
+        SchedStats {
+            promotions: self.promotions.load(Ordering::Relaxed),
+            tasks_created: self.tasks_created.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            heartbeats_serviced: self.heartbeats_serviced.load(Ordering::Relaxed),
+            heartbeats_delivered: delivered,
+        }
+    }
+
+    /// Zeroes every counter (between benchmark trials). The owner must
+    /// also reset its per-worker delivery counters — see the type-level
+    /// note.
+    pub fn reset(&self) {
+        self.promotions.store(0, Ordering::Relaxed);
+        self.tasks_created.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.heartbeats_serviced.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of a runtime's scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Heartbeat events that performed a promotion.
+    pub promotions: u64,
+    /// Tasks actually created (promoted latent calls and loop splits) —
+    /// the paper's Figure 15a quantity.
+    pub tasks_created: u64,
+    /// Successful steals between workers.
+    pub steals: u64,
+    /// Heartbeat flags observed (serviced) at promotion points.
+    pub heartbeats_serviced: u64,
+    /// Heartbeats delivered by the source (ping signals sent or local
+    /// timer expirations) — with `heartbeats_serviced`, the Figure 10
+    /// quantities.
+    pub heartbeats_delivered: u64,
+}
+
+impl SchedStats {
+    /// Serviced heartbeats as a fraction of delivered ones (Fig. 10's
+    /// service ratio; 1.0 when nothing was delivered).
+    pub fn service_ratio(&self) -> f64 {
+        if self.heartbeats_delivered == 0 {
+            1.0
+        } else {
+            self.heartbeats_serviced as f64 / self.heartbeats_delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset_round_trip() {
+        let c = SchedCounters::default();
+        c.promotions.store(3, Ordering::Relaxed);
+        c.steals.store(7, Ordering::Relaxed);
+        let s = c.snapshot(9);
+        assert_eq!(s.promotions, 3);
+        assert_eq!(s.steals, 7);
+        assert_eq!(s.heartbeats_delivered, 9);
+        c.reset();
+        assert_eq!(c.snapshot(0), SchedStats::default());
+    }
+
+    #[test]
+    fn service_ratio_handles_zero_delivery() {
+        let s = SchedStats::default();
+        assert_eq!(s.service_ratio(), 1.0);
+        let s = SchedStats {
+            heartbeats_serviced: 3,
+            heartbeats_delivered: 4,
+            ..SchedStats::default()
+        };
+        assert!((s.service_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,322 @@
+//! The event vocabulary and the two recorders (single-threaded builder
+//! for the simulator, shared multi-producer tracer for the runtime).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Identifier of a task within one trace. The initial task is 0; every
+/// fork and every join resolution (merge or completion) allocates a
+/// fresh id, so an id names one contiguous segment of the task DAG.
+/// Executors without per-task identity (the native runtime's type-erased
+/// jobs) record 0 throughout.
+pub type TaskId = u64;
+
+/// What an overhead span was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadKind {
+    /// Task allocation and deque push (the per-task cost τ).
+    Fork,
+    /// Successful steal (task migration).
+    Steal,
+    /// Join resolution (stash or merge).
+    Join,
+    /// Heartbeat interrupt servicing on the receiving core.
+    Interrupt,
+}
+
+impl OverheadKind {
+    /// A short lower-case label (used as the Chrome event name).
+    pub fn label(self) -> &'static str {
+        match self {
+            OverheadKind::Fork => "fork",
+            OverheadKind::Steal => "steal",
+            OverheadKind::Join => "join",
+            OverheadKind::Interrupt => "interrupt",
+        }
+    }
+}
+
+/// One recorded event. Spans carry their duration in `dur`; instants
+/// have `dur == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The core executed instructions of `task` for `dur` cycles.
+    Work {
+        /// The executing task.
+        task: TaskId,
+    },
+    /// The core was charged `dur` cycles of scheduling overhead.
+    Overhead {
+        /// What the cycles were spent on.
+        what: OverheadKind,
+    },
+    /// The core had nothing to run for `dur` cycles (failed steal
+    /// attempts included).
+    Idle,
+    /// `parent` forked `child` (a task was created — Fig. 15a).
+    TaskSpawn {
+        /// The forking task.
+        parent: TaskId,
+        /// The new task.
+        child: TaskId,
+    },
+    /// A pending heartbeat was serviced at a promotion-ready point and
+    /// the promotion handler ran (simulator) or a latent entry was
+    /// promoted (runtime).
+    TaskPromote {
+        /// The task that took the beat.
+        task: TaskId,
+    },
+    /// A heartbeat reached this core (timer expiry or ping signal) —
+    /// the Fig. 10 *delivered* quantity.
+    HeartbeatDelivered,
+    /// A heartbeat was observed at a promotion-ready point — the
+    /// Fig. 10 *serviced* quantity.
+    HeartbeatServiced,
+    /// A successful steal landed on this core.
+    Steal {
+        /// The victim core index.
+        victim: u32,
+    },
+    /// `task` arrived first at its join: it stashed its state on fork
+    /// tree node `node` and died.
+    JoinStash {
+        /// The stashing task.
+        task: TaskId,
+        /// The fork-tree node holding the stash.
+        node: u32,
+    },
+    /// `task` arrived second at fork-tree node `node`: the pair merged
+    /// into `merged`.
+    JoinMerge {
+        /// The second-arriving task.
+        task: TaskId,
+        /// The fork-tree node.
+        node: u32,
+        /// The merged continuation task.
+        merged: TaskId,
+    },
+    /// `task` joined at the record root: the record completed and
+    /// `resumed` continues at the continuation label.
+    JoinContinue {
+        /// The joining task.
+        task: TaskId,
+        /// The continuation task.
+        resumed: TaskId,
+    },
+    /// `task` executed `halt`.
+    TaskEnd {
+        /// The halting task.
+        task: TaskId,
+    },
+}
+
+/// One recorded event: a kind plus where and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global record-order sequence number (monotone across tracks; the
+    /// causal order of the run).
+    pub seq: u64,
+    /// Start time, in the trace's time unit (simulator: cycles;
+    /// runtime: timestamp ticks since runtime start).
+    pub ts: u64,
+    /// Duration for span kinds; 0 for instants.
+    pub dur: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The events of one core or worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    /// Display name (`core 3`, `worker 1`).
+    pub name: String,
+    /// Events in record order. Note that record order is *not* sorted
+    /// by `ts` — lazily settled idle chains are recorded retroactively —
+    /// so renderers sort by `ts` per track and analyses sort by `seq`
+    /// globally.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A complete recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The unit `ts`/`dur` are measured in (`"cycles"` or `"ticks"`).
+    pub time_unit: &'static str,
+    /// The heartbeat interval ♥ of the run, in the same unit (0 when
+    /// heartbeats were disabled).
+    pub heartbeat: u64,
+    /// One track per core/worker.
+    pub tracks: Vec<Track>,
+}
+
+impl Trace {
+    /// All events of all tracks in global causal (sequence) order.
+    pub fn causal_order(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .tracks
+            .iter()
+            .flat_map(|t| t.events.iter().copied())
+            .collect();
+        all.sort_unstable_by_key(|e| e.seq);
+        all
+    }
+
+    /// The end of the last event — the makespan the trace covers.
+    pub fn makespan(&self) -> u64 {
+        self.tracks
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .map(|e| e.ts + e.dur)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of recorded events.
+    pub fn len(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Single-threaded trace recorder (the simulator's: one owner, per-core
+/// buffers, sequence numbers handed out in program order).
+#[derive(Debug)]
+pub struct TraceBuilder {
+    time_unit: &'static str,
+    heartbeat: u64,
+    tracks: Vec<Vec<TraceEvent>>,
+    next_seq: u64,
+}
+
+impl TraceBuilder {
+    /// A builder with `tracks` empty tracks.
+    pub fn new(tracks: usize, time_unit: &'static str, heartbeat: u64) -> TraceBuilder {
+        TraceBuilder {
+            time_unit,
+            heartbeat,
+            tracks: vec![Vec::new(); tracks],
+            next_seq: 0,
+        }
+    }
+
+    /// Records one event on `track`.
+    #[inline]
+    pub fn record(&mut self, track: usize, ts: u64, dur: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.tracks[track].push(TraceEvent { seq, ts, dur, kind });
+    }
+
+    /// Finishes the trace, naming tracks `core 0`, `core 1`, …
+    pub fn finish(self) -> Trace {
+        Trace {
+            time_unit: self.time_unit,
+            heartbeat: self.heartbeat,
+            tracks: self
+                .tracks
+                .into_iter()
+                .enumerate()
+                .map(|(i, events)| Track {
+                    name: format!("core {i}"),
+                    events,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Multi-producer trace recorder (the native runtime's): per-worker
+/// buffers behind uncontended mutexes — each buffer is pushed to almost
+/// exclusively by its owning worker; the cross-thread cases are the
+/// ping thread marking deliveries and the final collection.
+#[derive(Debug)]
+pub struct SharedTracer {
+    time_unit: &'static str,
+    heartbeat: u64,
+    bufs: Vec<Mutex<Vec<TraceEvent>>>,
+    next_seq: AtomicU64,
+}
+
+impl SharedTracer {
+    /// A tracer with `tracks` empty per-worker buffers.
+    pub fn new(tracks: usize, time_unit: &'static str, heartbeat: u64) -> SharedTracer {
+        SharedTracer {
+            time_unit,
+            heartbeat,
+            bufs: (0..tracks).map(|_| Mutex::new(Vec::new())).collect(),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one event on `track`.
+    #[inline]
+    pub fn record(&self, track: usize, ts: u64, dur: u64, kind: EventKind) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.bufs[track]
+            .lock()
+            .push(TraceEvent { seq, ts, dur, kind });
+    }
+
+    /// Drains every buffer into a [`Trace`], naming tracks `worker 0`,
+    /// `worker 1`, … Events recorded after collection begins may land in
+    /// either this trace or the next.
+    pub fn collect(&self) -> Trace {
+        Trace {
+            time_unit: self.time_unit,
+            heartbeat: self.heartbeat,
+            tracks: self
+                .bufs
+                .iter()
+                .enumerate()
+                .map(|(i, buf)| Track {
+                    name: format!("worker {i}"),
+                    events: std::mem::take(&mut *buf.lock()),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_global_seq() {
+        let mut b = TraceBuilder::new(2, "cycles", 100);
+        b.record(1, 5, 0, EventKind::HeartbeatDelivered);
+        b.record(0, 5, 3, EventKind::Idle);
+        b.record(1, 6, 0, EventKind::TaskEnd { task: 0 });
+        let t = b.finish();
+        assert_eq!(t.len(), 3);
+        let order = t.causal_order();
+        assert_eq!(order[0].kind, EventKind::HeartbeatDelivered);
+        assert_eq!(order[1].kind, EventKind::Idle);
+        assert_eq!(t.makespan(), 8);
+        assert_eq!(t.tracks[0].name, "core 0");
+    }
+
+    #[test]
+    fn shared_tracer_collects_and_drains() {
+        let tr = SharedTracer::new(2, "ticks", 0);
+        tr.record(0, 1, 0, EventKind::HeartbeatServiced);
+        tr.record(1, 2, 4, EventKind::Work { task: 0 });
+        let t = tr.collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tracks[1].name, "worker 1");
+        assert!(tr.collect().is_empty(), "collect drains");
+    }
+
+    #[test]
+    fn empty_trace_reports_zero_makespan() {
+        let t = TraceBuilder::new(1, "cycles", 0).finish();
+        assert!(t.is_empty());
+        assert_eq!(t.makespan(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! A minimal JSON value parser (no external dependencies — the build
+//! environment has no registry access), sufficient to re-parse and
+//! validate the Chrome `trace_event` files this crate renders.
+
+use std::collections::BTreeMap;
+use std::str::Chars;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order is not preserved).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value of object key `k`, if this is an object that has it.
+    pub fn get(&self, k: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(k),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    /// One-character lookahead.
+    peeked: Option<char>,
+    /// Characters consumed (for error positions).
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            chars: s.chars(),
+            peeked: None,
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at char {}: {what}", self.pos)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.peeked = None;
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(self.err(&format!("expected `{c}`, got `{got}`"))),
+            None => Err(self.err(&format!("expected `{c}`, got end of input"))),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, v: Json) -> Result<Json, String> {
+        for c in rest.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        // Opening quote already consumed by the caller.
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not produced by our
+                        // renderer; map unpaired surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if (c as u32) < 0x20 => return Err(self.err("unescaped control character")),
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, first: char) -> Result<Json, String> {
+        let mut text = String::new();
+        text.push(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(c);
+                self.next();
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.next() {
+            None => Err(self.err("expected a value, got end of input")),
+            Some('n') => self.literal("ull", Json::Null),
+            Some('t') => self.literal("rue", Json::Bool(true)),
+            Some('f') => self.literal("alse", Json::Bool(false)),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('[') => {
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.next();
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(',') => continue,
+                        Some(']') => return Ok(Json::Arr(items)),
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some('{') => {
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.next();
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    self.expect('"')?;
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    map.insert(key, self.value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(',') => continue,
+                        Some('}') => return Ok(Json::Obj(map)),
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(c),
+            Some(c) => Err(self.err(&format!("unexpected `{c}`"))),
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    match p.peek() {
+        None => Ok(v),
+        Some(c) => Err(p.err(&format!("trailing `{c}` after document"))),
+    }
+}
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, -2.5, "x\n", true, null], "b": {}}"#).unwrap();
+        let a = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(a[0].as_num(), Some(1.0));
+        assert_eq!(a[1].as_num(), Some(-2.5));
+        assert_eq!(a[2].as_str(), Some("x\n"));
+        assert_eq!(a[3], Json::Bool(true));
+        assert_eq!(a[4], Json::Null);
+        assert_eq!(v.get("b"), Some(&Json::Obj(Default::default())));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "nul", "1 2", "\"\\x\""] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("\"{}\"", escape(s));
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse(r#""\u0041\u00e9""#).unwrap().as_str(), Some("Aé"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Paper-figure metrics computed from a recorded trace.
+//!
+//! [`MetricsReport`] folds one pass over a [`Trace`] into the quantities
+//! the paper's evaluation plots: scheduling-overhead fraction (the
+//! Fig. 8 polling-overhead axis), delivered-versus-serviced heartbeat
+//! rates (Fig. 10), task counts (Fig. 15a), and per-core plus total
+//! utilization. Everything derives from the same event stream the
+//! Chrome backend renders, so numbers and timeline pictures can't drift
+//! apart.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, OverheadKind, Trace};
+
+/// Per-core activity totals, in trace time units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreActivity {
+    /// Cycles spent executing task instructions.
+    pub work: u64,
+    /// Cycles charged to scheduling (fork/steal/join/interrupt).
+    pub overhead: u64,
+    /// Cycles with nothing to run.
+    pub idle: u64,
+}
+
+impl CoreActivity {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.work + self.overhead + self.idle
+    }
+
+    /// Fraction of accounted cycles doing useful work (0 when empty).
+    pub fn utilization(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.work as f64 / total as f64
+        }
+    }
+}
+
+/// A summary of one recorded run in paper-figure terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Trace time unit (`"cycles"` / `"ticks"`).
+    pub time_unit: &'static str,
+    /// Heartbeat interval ♥ of the run (0 if disabled).
+    pub heartbeat: u64,
+    /// End of the last recorded event.
+    pub makespan: u64,
+    /// Activity totals per core, indexed like `trace.tracks`.
+    pub per_core: Vec<CoreActivity>,
+    /// Overhead cycles broken down by [`OverheadKind`], indexed
+    /// Fork/Steal/Join/Interrupt.
+    pub overhead_by_kind: [u64; 4],
+    /// Tasks created (spawn events) — Fig. 15a.
+    pub tasks_created: u64,
+    /// Promotions performed at serviced heartbeats.
+    pub promotions: u64,
+    /// Heartbeats delivered to cores — Fig. 10 numerator's denominator.
+    pub heartbeats_delivered: u64,
+    /// Heartbeats observed at promotion-ready points — Fig. 10.
+    pub heartbeats_serviced: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Join stashes (first arrivals).
+    pub join_stashes: u64,
+    /// Join merges (second arrivals).
+    pub join_merges: u64,
+    /// Joins that carried straight on (no outstanding partner).
+    pub join_continues: u64,
+}
+
+impl MetricsReport {
+    /// Computes the report in one pass over `trace`.
+    pub fn from_trace(trace: &Trace) -> MetricsReport {
+        let mut r = MetricsReport {
+            time_unit: trace.time_unit,
+            heartbeat: trace.heartbeat,
+            makespan: trace.makespan(),
+            per_core: vec![CoreActivity::default(); trace.tracks.len()],
+            overhead_by_kind: [0; 4],
+            tasks_created: 0,
+            promotions: 0,
+            heartbeats_delivered: 0,
+            heartbeats_serviced: 0,
+            steals: 0,
+            join_stashes: 0,
+            join_merges: 0,
+            join_continues: 0,
+        };
+        for (core, track) in trace.tracks.iter().enumerate() {
+            for e in &track.events {
+                match e.kind {
+                    EventKind::Work { .. } => r.per_core[core].work += e.dur,
+                    EventKind::Overhead { what } => {
+                        r.per_core[core].overhead += e.dur;
+                        r.overhead_by_kind[what as usize] += e.dur;
+                    }
+                    EventKind::Idle => r.per_core[core].idle += e.dur,
+                    EventKind::TaskSpawn { .. } => r.tasks_created += 1,
+                    EventKind::TaskPromote { .. } => r.promotions += 1,
+                    EventKind::HeartbeatDelivered => r.heartbeats_delivered += 1,
+                    EventKind::HeartbeatServiced => r.heartbeats_serviced += 1,
+                    EventKind::Steal { .. } => r.steals += 1,
+                    EventKind::JoinStash { .. } => r.join_stashes += 1,
+                    EventKind::JoinMerge { .. } => r.join_merges += 1,
+                    EventKind::JoinContinue { .. } => r.join_continues += 1,
+                    EventKind::TaskEnd { .. } => {}
+                }
+            }
+        }
+        r
+    }
+
+    /// Summed activity across all cores.
+    pub fn totals(&self) -> CoreActivity {
+        let mut t = CoreActivity::default();
+        for c in &self.per_core {
+            t.work += c.work;
+            t.overhead += c.overhead;
+            t.idle += c.idle;
+        }
+        t
+    }
+
+    /// Machine utilization: work cycles over all accounted cycles.
+    pub fn utilization(&self) -> f64 {
+        self.totals().utilization()
+    }
+
+    /// Scheduling overhead as a fraction of work + overhead cycles —
+    /// the Fig. 8 overhead axis (idle excluded: it measures load
+    /// imbalance, not scheduling cost).
+    pub fn overhead_fraction(&self) -> f64 {
+        let t = self.totals();
+        let busy = t.work + t.overhead;
+        if busy == 0 {
+            0.0
+        } else {
+            t.overhead as f64 / busy as f64
+        }
+    }
+
+    /// Heartbeats delivered per core per ♥ interval of makespan — 1.0
+    /// means the nominal delivery rate was achieved (Fig. 10's
+    /// delivered axis, normalized).
+    pub fn delivered_rate_achieved(&self) -> f64 {
+        if self.heartbeat == 0 || self.makespan == 0 || self.per_core.is_empty() {
+            return 0.0;
+        }
+        let expected = (self.makespan as f64 / self.heartbeat as f64) * self.per_core.len() as f64;
+        self.heartbeats_delivered as f64 / expected
+    }
+
+    /// Serviced heartbeats as a fraction of delivered ones (Fig. 10's
+    /// serviced axis; 1.0 when nothing was delivered).
+    pub fn service_ratio(&self) -> f64 {
+        if self.heartbeats_delivered == 0 {
+            1.0
+        } else {
+            self.heartbeats_serviced as f64 / self.heartbeats_delivered as f64
+        }
+    }
+
+    /// A plain-text rendering (the `--profile` / bench-report output).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let t = self.totals();
+        let _ = writeln!(
+            s,
+            "trace metrics ({} cores, makespan {} {}, heartbeat {})",
+            self.per_core.len(),
+            self.makespan,
+            self.time_unit,
+            self.heartbeat
+        );
+        let _ = writeln!(
+            s,
+            "  activity: work {} / overhead {} / idle {}  (utilization {:.1}%, overhead {:.2}%)",
+            t.work,
+            t.overhead,
+            t.idle,
+            100.0 * self.utilization(),
+            100.0 * self.overhead_fraction()
+        );
+        let _ = writeln!(
+            s,
+            "  overhead by kind: fork {} / steal {} / join {} / interrupt {}",
+            self.overhead_by_kind[OverheadKind::Fork as usize],
+            self.overhead_by_kind[OverheadKind::Steal as usize],
+            self.overhead_by_kind[OverheadKind::Join as usize],
+            self.overhead_by_kind[OverheadKind::Interrupt as usize],
+        );
+        let _ = writeln!(
+            s,
+            "  heartbeats: delivered {} ({:.2}x nominal), serviced {} (ratio {:.2})",
+            self.heartbeats_delivered,
+            self.delivered_rate_achieved(),
+            self.heartbeats_serviced,
+            self.service_ratio()
+        );
+        let _ = writeln!(
+            s,
+            "  tasks: created {} / promotions {} / steals {} / join stash {} merge {} continue {}",
+            self.tasks_created,
+            self.promotions,
+            self.steals,
+            self.join_stashes,
+            self.join_merges,
+            self.join_continues
+        );
+        for (i, c) in self.per_core.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  core {i}: work {} / overhead {} / idle {}  ({:.1}%)",
+                c.work,
+                c.overhead,
+                c.idle,
+                100.0 * c.utilization()
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(2, "cycles", 10);
+        b.record(0, 0, 30, EventKind::Work { task: 0 });
+        b.record(0, 30, 0, EventKind::HeartbeatDelivered);
+        b.record(0, 30, 0, EventKind::HeartbeatServiced);
+        b.record(0, 30, 0, EventKind::TaskPromote { task: 0 });
+        b.record(
+            0,
+            30,
+            0,
+            EventKind::TaskSpawn {
+                parent: 0,
+                child: 1,
+            },
+        );
+        b.record(
+            0,
+            30,
+            4,
+            EventKind::Overhead {
+                what: OverheadKind::Fork,
+            },
+        );
+        b.record(1, 0, 34, EventKind::Idle);
+        b.record(1, 34, 0, EventKind::Steal { victim: 0 });
+        b.record(
+            1,
+            34,
+            2,
+            EventKind::Overhead {
+                what: OverheadKind::Steal,
+            },
+        );
+        b.record(1, 36, 4, EventKind::Work { task: 1 });
+        b.record(0, 34, 6, EventKind::Work { task: 0 });
+        b.record(0, 40, 0, EventKind::HeartbeatDelivered);
+        b.record(0, 40, 0, EventKind::TaskEnd { task: 0 });
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_activity_fold_correctly() {
+        let r = MetricsReport::from_trace(&sample());
+        assert_eq!(r.makespan, 40);
+        assert_eq!(
+            r.per_core[0],
+            CoreActivity {
+                work: 36,
+                overhead: 4,
+                idle: 0
+            }
+        );
+        assert_eq!(
+            r.per_core[1],
+            CoreActivity {
+                work: 4,
+                overhead: 2,
+                idle: 34
+            }
+        );
+        assert_eq!(r.overhead_by_kind, [4, 2, 0, 0]);
+        assert_eq!(r.tasks_created, 1);
+        assert_eq!(r.promotions, 1);
+        assert_eq!(r.heartbeats_delivered, 2);
+        assert_eq!(r.heartbeats_serviced, 1);
+        assert_eq!(r.steals, 1);
+        assert_eq!(r.totals().total(), 80);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!((r.overhead_fraction() - 6.0 / 46.0).abs() < 1e-12);
+        assert!((r.service_ratio() - 0.5).abs() < 1e-12);
+        // 2 delivered vs expected 40/10 * 2 cores = 8 -> 0.25.
+        assert!((r.delivered_rate_achieved() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_yields_neutral_ratios() {
+        let r = MetricsReport::from_trace(&TraceBuilder::new(1, "cycles", 0).finish());
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.overhead_fraction(), 0.0);
+        assert_eq!(r.service_ratio(), 1.0);
+        assert_eq!(r.delivered_rate_achieved(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_key_quantities() {
+        let text = MetricsReport::from_trace(&sample()).render();
+        assert!(text.contains("utilization 50.0%"));
+        assert!(text.contains("serviced 1"));
+        assert!(text.contains("core 1:"));
+    }
+}

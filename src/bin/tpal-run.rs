@@ -6,6 +6,7 @@
 //!               [--set reg=int]... [--heartbeat N] [--tau N]
 //!               [--sim CORES] [--linux | --nautilus]
 //!               [--newest-first] [--print]
+//!               [--trace OUT.json] [--profile]
 //! ```
 //!
 //! Without `--ir`, FILE is TPAL assembly (`.tpal`). With `--ir`, FILE is
@@ -15,6 +16,13 @@
 //! `result`. Runs on the reference machine by default, or on the
 //! multicore simulator with `--sim CORES`. `--print` prints the (parsed
 //! or generated) TPAL assembly instead of running.
+//!
+//! Observability (simulator runs only): `--trace OUT.json` records a
+//! structured scheduling trace and writes it as Chrome `trace_event`
+//! JSON — open it at `chrome://tracing` or <https://ui.perfetto.dev>,
+//! one track per simulated core. `--profile` prints the TASKPROF-style
+//! work/span profile (work T₁, span T∞, available parallelism) and the
+//! per-core metrics report derived from the same trace.
 //!
 //! Examples:
 //!
@@ -42,12 +50,15 @@ struct Options {
     ir: bool,
     mode: tpal::ir::Mode,
     order: PromotionOrder,
+    trace_out: Option<String>,
+    profile: bool,
 }
 
 fn usage() -> String {
     "usage: tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]] \
      [--set reg=int]... [--heartbeat N] [--tau N] [--sim CORES] \
-     [--linux | --nautilus] [--newest-first] [--print]"
+     [--linux | --nautilus] [--newest-first] [--print] \
+     [--trace OUT.json] [--profile]"
         .to_owned()
 }
 
@@ -64,6 +75,8 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         ir: false,
         mode: tpal::ir::Mode::Heartbeat,
         order: PromotionOrder::OldestFirst,
+        trace_out: None,
+        profile: false,
     };
     let need = |args: &mut std::env::Args, what: &str| {
         args.next().ok_or_else(|| format!("{what} needs a value"))
@@ -95,6 +108,8 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                         .map_err(|e| format!("--sim: {e}"))?,
                 );
             }
+            "--trace" => opts.trace_out = Some(need(&mut args, "--trace")?),
+            "--profile" => opts.profile = true,
             "--newest-first" => opts.order = PromotionOrder::NewestFirst,
             "--linux" => opts.linux = true,
             "--nautilus" => opts.linux = false,
@@ -118,6 +133,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
     }
     if opts.file.is_empty() {
         return Err(usage());
+    }
+    if (opts.trace_out.is_some() || opts.profile) && opts.sim_cores.is_none() {
+        return Err("--trace/--profile need a simulator run (--sim CORES)".to_owned());
     }
     Ok(opts)
 }
@@ -196,6 +214,7 @@ fn main() -> ExitCode {
             SimConfig::nautilus(cores, heartbeat)
         };
         config.promotion_order = opts.order;
+        config.record_trace = opts.trace_out.is_some() || opts.profile;
         let mut sim = Sim::new(&program, config);
         for (k, v) in &sets {
             if let Err(e) = sim.set_reg(k, *v) {
@@ -226,6 +245,28 @@ fn main() -> ExitCode {
                     out.utilization() * 100.0,
                     out.heartbeat_rate_achieved() * 100.0
                 );
+                if let Some(trace) = &out.trace {
+                    if let Some(path) = &opts.trace_out {
+                        let json = tpal::trace::chrome::chrome_json(trace);
+                        if let Err(e) = std::fs::write(path, json) {
+                            eprintln!("--trace {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("  trace: {} events -> {path}", trace.len());
+                    }
+                    if opts.profile {
+                        let p = tpal::trace::WorkSpanProfile::from_trace(trace);
+                        println!(
+                            "  profile: work = {} cycles, span = {} cycles, \
+                             parallelism = {:.1}, tasks = {}",
+                            p.work,
+                            p.span,
+                            p.parallelism(),
+                            p.tasks
+                        );
+                        print!("{}", tpal::trace::MetricsReport::from_trace(trace).render());
+                    }
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {

@@ -9,6 +9,7 @@
 //! | [`core`] | `tpal-core` | The TPAL ISA, assembler, abstract machine, cost semantics |
 //! | [`ir`] | `tpal-ir` | A task-parallel IR with serial / heartbeat / eager lowerings |
 //! | [`sim`] | `tpal-sim` | A deterministic multicore simulator with interrupt models |
+//! | [`trace`] | `tpal-trace` | Structured scheduling traces, Chrome export, work/span profiling |
 //! | [`rt`] | `tpal-rt` | The native heartbeat runtime (threads + work stealing) |
 //! | [`cilk`] | `tpal-cilk` | The eager Cilk-style baseline runtime |
 //! | [`deque`] | `tpal-deque` | The Chase–Lev work-stealing deque substrate |
@@ -38,4 +39,5 @@ pub use tpal_deque as deque;
 pub use tpal_ir as ir;
 pub use tpal_rt as rt;
 pub use tpal_sim as sim;
+pub use tpal_trace as trace;
 pub use tpal_workloads as workloads;
