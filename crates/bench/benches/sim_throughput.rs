@@ -6,8 +6,10 @@
 //! escape-time flat loop with data-dependent trip counts
 //! (`mandelbrot`). Writes `BENCH_sim_throughput.json` at the repo root
 //! with the measured speedups, the tracing-off throughput relative to
-//! the pre-trace baseline (the zero-cost-when-off check), and the
-//! slowdown with structured tracing recording.
+//! the pre-trace baseline (the zero-cost-when-off check), the slowdown
+//! with structured tracing recording, and a scheduling-policy sweep
+//! (`heartbeat` vs `eager` vs `never` promotion on the flat and nested
+//! shapes) tracking what each policy costs the simulator hot path.
 //!
 //! With `TPAL_BENCH_SMOKE=1` the bench runs each workload once per
 //! engine and asserts the engines agree — a CI-sized canary for decode
@@ -17,7 +19,7 @@
 use criterion::{criterion_group, Criterion, Throughput};
 
 use tpal_ir::lower::{lower, Mode};
-use tpal_sim::{Sim, SimConfig, SimRef};
+use tpal_sim::{Policy, Sim, SimConfig, SimRef};
 use tpal_workloads::{workload, Scale};
 
 const CASES: [&str; 4] = [
@@ -26,6 +28,11 @@ const CASES: [&str; 4] = [
     "mergesort-uniform",
     "mandelbrot",
 ];
+
+/// The policy sweep: one flat and one nested shape, under the three
+/// promotion policies whose costs bracket the design space.
+const SWEEP_CASES: [&str; 2] = ["plus-reduce-array", "floyd-warshall-small"];
+const SWEEP_POLICIES: [&str; 3] = ["heartbeat", "eager", "never"];
 
 /// Event-engine throughput (instr/s) recorded by the previous bench run
 /// on this machine, before the trace subsystem landed. The tracing-off
@@ -100,6 +107,22 @@ fn bench_sim_throughput(c: &mut Criterion) {
                     .instructions
             })
         });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("sim_policy_sweep");
+    for name in SWEEP_CASES {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+        for pname in SWEEP_POLICIES {
+            let mut cfg = config;
+            cfg.policy = Policy::parse(pname).unwrap();
+            g.bench_function(&format!("{name}/{pname}"), |b| {
+                b.iter(|| run_engine!(Sim, lowered, spec, cfg).stats.instructions)
+            });
+        }
     }
     g.finish();
 
@@ -178,13 +201,51 @@ fn bench_sim_throughput(c: &mut Criterion) {
             ips(ref_ns),
         ));
     }
+    // Scheduling-policy sweep: same min-of-N estimator, event engine
+    // only (the equivalence suite covers engine agreement per policy).
+    // Eager runs more instructions (every handler runs) and never runs
+    // fewer (no handlers at all), so each row records its own count.
+    let mut sweep_entries = Vec::new();
+    for name in SWEEP_CASES {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+        for pname in SWEEP_POLICIES {
+            let mut cfg = config;
+            cfg.policy = Policy::parse(pname).unwrap();
+            let out = run_engine!(Sim, lowered, spec, cfg);
+            let instructions = out.stats.instructions;
+            let promotions = out.stats.promotions;
+            let mut ns = u128::MAX;
+            for _ in 0..5 {
+                let start = std::time::Instant::now();
+                std::hint::black_box(run_engine!(Sim, lowered, spec, cfg).stats.instructions);
+                ns = ns.min(start.elapsed().as_nanos());
+            }
+            let ips = instructions as f64 * 1e9 / ns.max(1) as f64;
+            println!(
+                "sim_policy_sweep {name}/{pname}: {instructions} instrs, \
+                 {promotions} promotions, {:.1} Minstr/s",
+                ips / 1e6
+            );
+            sweep_entries.push(format!(
+                "    {{\n      \"workload\": \"{name}\",\n      \"policy\": \"{pname}\",\n      \
+                 \"instructions\": {instructions},\n      \"promotions\": {promotions},\n      \
+                 \"event_engine_ns\": {ns},\n      \
+                 \"event_engine_instr_per_sec\": {ips:.0}\n    }}"
+            ));
+        }
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"sim_throughput\",\n  \"config\": {{\n    \"cores\": {},\n    \
          \"heartbeat\": {},\n    \"interrupt\": \"nautilus\",\n    \"mode\": \"heartbeat\",\n    \
-         \"scale\": \"quick\"\n  }},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+         \"scale\": \"quick\"\n  }},\n  \"workloads\": [\n{}\n  ],\n  \"policy_sweep\": [\n{}\n  ]\n}}\n",
         config.cores,
         config.heartbeat,
-        entries.join(",\n")
+        entries.join(",\n"),
+        sweep_entries.join(",\n")
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

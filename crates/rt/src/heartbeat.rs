@@ -1,21 +1,13 @@
-//! Heartbeat delivery mechanisms (§3.2 and §5 of the paper).
+//! The tick-domain clock behind heartbeat delivery.
+//!
+//! The delivery mechanisms themselves ([`HeartbeatSource`], the
+//! per-worker `HeartbeatCell`) live in the shared scheduler-policy
+//! kernel (`tpal-sched`); this module supplies the one thing that is
+//! genuinely native: the CPU timestamp counter and its calibration.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// How heartbeats reach the workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HeartbeatSource {
-    /// A dedicated thread raises each worker's flag in turn every ♥
-    /// (the Linux `INT-PingThread` mechanism: simple, linear, jittery).
-    PingThread,
-    /// Each worker compares the CPU timestamp counter against a private
-    /// deadline at promotion-ready points (the Nautilus per-core APIC
-    /// timer mechanism: precise, no cross-thread traffic).
-    LocalTimer,
-    /// Heartbeats never fire; latent parallelism is never promoted.
-    Disabled,
-}
+pub use tpal_sched::HeartbeatSource;
 
 /// Reads the CPU timestamp counter (x86-64), or a monotonic-clock
 /// fallback in nanoseconds elsewhere.
@@ -46,78 +38,6 @@ pub(crate) fn calibrate_ticks_per_us() -> u64 {
     (ticks / us).max(1)
 }
 
-/// Per-worker heartbeat state.
-#[derive(Debug)]
-pub(crate) struct HeartbeatCell {
-    /// Raised by the ping thread; consumed at promotion-ready points.
-    pub flag: AtomicBool,
-    /// Next local-timer deadline in ticks.
-    pub deadline: AtomicU64,
-    /// Heartbeats delivered to this worker.
-    pub delivered: AtomicU64,
-}
-
-impl HeartbeatCell {
-    pub(crate) fn new() -> Self {
-        HeartbeatCell {
-            flag: AtomicBool::new(false),
-            deadline: AtomicU64::new(u64::MAX),
-            delivered: AtomicU64::new(0),
-        }
-    }
-
-    /// Ping-thread delivery.
-    pub(crate) fn raise(&self) {
-        self.flag.store(true, Ordering::Release);
-        self.delivered.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The promotion-point check. Returns `true` when a heartbeat is due
-    /// on this worker under the given source.
-    #[inline]
-    pub(crate) fn poll(&self, source: HeartbeatSource, interval_ticks: u64) -> bool {
-        match source {
-            HeartbeatSource::Disabled => false,
-            HeartbeatSource::PingThread => {
-                // One relaxed load in the common case.
-                if self.flag.load(Ordering::Relaxed) {
-                    self.flag.store(false, Ordering::Relaxed);
-                    true
-                } else {
-                    false
-                }
-            }
-            HeartbeatSource::LocalTimer => {
-                let now = now_ticks();
-                let deadline = self.deadline.load(Ordering::Relaxed);
-                if now >= deadline {
-                    self.deadline
-                        .store(now.wrapping_add(interval_ticks), Ordering::Relaxed);
-                    self.delivered.fetch_add(1, Ordering::Relaxed);
-                    true
-                } else {
-                    false
-                }
-            }
-        }
-    }
-
-    /// Clears the delivery counter. Must be part of every stats reset:
-    /// delivery is counted here per worker rather than in the shared
-    /// [`Counters`](crate::stats::Counters), so resetting only the shared
-    /// counters would leave post-reset serviced/delivered ratios computed
-    /// against a stale cumulative denominator.
-    pub(crate) fn reset_delivery(&self) {
-        self.delivered.store(0, Ordering::Relaxed);
-    }
-
-    /// Arms the local timer.
-    pub(crate) fn arm(&self, interval_ticks: u64) {
-        self.deadline
-            .store(now_ticks().wrapping_add(interval_ticks), Ordering::Relaxed);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,31 +52,5 @@ mod tests {
     #[test]
     fn calibration_positive() {
         assert!(calibrate_ticks_per_us() >= 1);
-    }
-
-    #[test]
-    fn ping_flag_consumed_once() {
-        let c = HeartbeatCell::new();
-        assert!(!c.poll(HeartbeatSource::PingThread, 0));
-        c.raise();
-        assert!(c.poll(HeartbeatSource::PingThread, 0));
-        assert!(!c.poll(HeartbeatSource::PingThread, 0));
-        assert_eq!(c.delivered.load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn disabled_never_beats() {
-        let c = HeartbeatCell::new();
-        c.raise();
-        assert!(!c.poll(HeartbeatSource::Disabled, 0));
-    }
-
-    #[test]
-    fn local_timer_beats_after_deadline() {
-        let c = HeartbeatCell::new();
-        c.deadline.store(0, Ordering::Relaxed);
-        assert!(c.poll(HeartbeatSource::LocalTimer, u64::MAX / 2));
-        // Re-armed far in the future.
-        assert!(!c.poll(HeartbeatSource::LocalTimer, u64::MAX / 2));
     }
 }

@@ -53,3 +53,6 @@ mod stats;
 pub use heartbeat::HeartbeatSource;
 pub use pool::{RtConfig, Runtime, WorkerCtx};
 pub use stats::RtStats;
+// The scheduling policies themselves live in the shared policy kernel;
+// re-exported so runtime users need not depend on `tpal-sched` directly.
+pub use tpal_sched::{Policy, Promotion, Victim};

@@ -38,9 +38,11 @@ impl WorkerCtx<'_> {
             }
             self.poll_skip.set(31);
         }
-        let due = self.shared.workers[self.id]
-            .hb
-            .poll(self.shared.source, self.shared.interval_ticks);
+        let due = self.shared.workers[self.id].hb.poll(
+            self.shared.source,
+            self.shared.interval_ticks,
+            crate::heartbeat::now_ticks,
+        );
         // A local-timer beat is *delivered* at the expiry poll itself
         // (ping deliveries are recorded by the ping thread at raise
         // time, on the receiving worker's track).
@@ -77,19 +79,21 @@ impl WorkerCtx<'_> {
         true
     }
 
-    /// Services a due heartbeat at a promotion-ready point that has no
-    /// loop of its own to split. Returns whether a promotion happened.
+    /// Polls at a promotion-ready point that has no loop of its own to
+    /// split: services a due heartbeat and asks the promotion policy
+    /// whether to attempt a promotion. Returns whether one happened.
     pub fn poll_promote(&self) -> bool {
-        if !self.heartbeat_due() {
+        let beat = self.heartbeat_due();
+        if beat {
+            let c = &self.shared.counters;
+            c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .trace_event(self.id, EventKind::HeartbeatServiced);
+        }
+        if !self.attempt_promotion(beat) {
             return false;
         }
         let c = &self.shared.counters;
-        c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .trace_event(self.id, EventKind::HeartbeatServiced);
-        if self.shared.suppress_promotions {
-            return false;
-        }
         if self.promote_oldest_latent() {
             c.promotions.fetch_add(1, Ordering::Relaxed);
             c.tasks_created.fetch_add(1, Ordering::Relaxed);
@@ -269,14 +273,20 @@ impl WorkerCtx<'_> {
                 // the paper's §6 budget. The stride is far below any
                 // sensible ♥.
                 let stride = ctx.shared.poll_stride;
-                if ctx.heartbeat_due() {
+                let beat = ctx.heartbeat_due();
+                if beat {
                     let c = &ctx.shared.counters;
                     c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
                     ctx.shared.trace_event(ctx.id, EventKind::HeartbeatServiced);
-                    if ctx.shared.suppress_promotions {
-                        // "Interrupts only": measure the mechanism, not
-                        // the promotions.
-                    } else if ctx.promote_oldest_latent() {
+                }
+                // The policy arbitrates: `heartbeat` promotes once per
+                // beat, `eager` at every poll block, `never` not at all
+                // ("interrupts only" — measure the mechanism, not the
+                // promotions), `adaptive:τ` once per sufficiently spaced
+                // beat.
+                if ctx.attempt_promotion(beat) {
+                    let c = &ctx.shared.counters;
+                    if ctx.promote_oldest_latent() {
                         // Outermost-first: a latent fork took the beat.
                         c.promotions.fetch_add(1, Ordering::Relaxed);
                         c.tasks_created.fetch_add(1, Ordering::Relaxed);

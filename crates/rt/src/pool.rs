@@ -14,9 +14,13 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use tpal_deque::{deque, Steal, Stealer, Worker};
+use tpal_sched::{
+    HeartbeatCell, HeartbeatSource, Policy, PromoteState, Promotion, RngEnv, SplitMix64, Victim,
+    VictimPolicy,
+};
 use tpal_trace::{EventKind, SharedTracer, Trace};
 
-use crate::heartbeat::{calibrate_ticks_per_us, now_ticks, HeartbeatCell, HeartbeatSource};
+use crate::heartbeat::{calibrate_ticks_per_us, now_ticks};
 use crate::job::Job;
 use crate::stats::{Counters, RtStats};
 
@@ -45,6 +49,12 @@ pub struct RtConfig {
     /// collected with [`Runtime::take_trace`]. Off by default: when off,
     /// every record site is one `None` check and nothing is allocated.
     pub trace: bool,
+    /// The scheduling policy: when poll points attempt promotions and
+    /// whom a thief probes. The runtime's historical behaviour is
+    /// `heartbeat` promotion with the `sequence` victim sweep.
+    /// [`RtConfig::suppress_promotions`] overrides the promotion half
+    /// to `never`.
+    pub policy: Policy,
 }
 
 impl Default for RtConfig {
@@ -58,6 +68,10 @@ impl Default for RtConfig {
             suppress_promotions: false,
             poll_stride: 32,
             trace: false,
+            policy: Policy {
+                promotion: Promotion::Heartbeat,
+                victim: Victim::Sequence,
+            },
         }
     }
 }
@@ -99,6 +113,12 @@ impl RtConfig {
         self.trace = yes;
         self
     }
+
+    /// Sets the scheduling policy (see [`RtConfig::policy`]).
+    pub fn policy(mut self, p: Policy) -> Self {
+        self.policy = p;
+        self
+    }
 }
 
 pub(crate) struct WorkerShared {
@@ -115,7 +135,11 @@ pub(crate) struct Shared {
     pub counters: Counters,
     pub source: HeartbeatSource,
     pub interval_ticks: u64,
-    pub suppress_promotions: bool,
+    /// The effective promotion policy ([`RtConfig::suppress_promotions`]
+    /// maps to [`Promotion::Never`] at construction).
+    pub promotion: Promotion,
+    /// The steal-victim policy.
+    pub victim: Victim,
     pub poll_stride: usize,
     pub rng_salt: AtomicU64,
     /// Structured event recording (None unless [`RtConfig::trace`]).
@@ -147,19 +171,6 @@ impl Shared {
     }
 }
 
-/// The victim probe order for worker `id` in a pool of `n`: every one of
-/// the other `n - 1` workers exactly once, starting at a salt-chosen
-/// offset (so concurrent thieves spread out). Empty for `n <= 1`.
-///
-/// The offsets `1 + (salt + k) % (n - 1)` for `k in 0..n-1` hit each of
-/// `1..n` exactly once, so the sequence can neither probe the same victim
-/// twice nor yield `id` itself. (An earlier version iterated `k in 0..n`,
-/// re-probing its first victim on the final iteration — a wasted steal
-/// attempt per failed round — and carried a dead `v == id` guard.)
-pub(crate) fn victim_sequence(id: usize, n: usize, salt: usize) -> impl Iterator<Item = usize> {
-    (0..n.saturating_sub(1)).map(move |k| (id + 1 + (salt + k) % (n - 1)) % n)
-}
-
 thread_local! {
     /// The deque owner handle of the current worker thread (set once at
     /// worker start; `None` on external threads).
@@ -189,6 +200,11 @@ pub struct WorkerCtx<'a> {
     /// next timestamp read (keeps the per-iteration cost to a counter
     /// decrement; granularity stays far below ♥).
     pub(crate) poll_skip: std::cell::Cell<u32>,
+    /// Promotion-policy state (adaptive-τ spacing; the beat flag lives
+    /// on the worker's [`HeartbeatCell`]).
+    pub(crate) promote: std::cell::Cell<PromoteState>,
+    /// Per-worker RNG for randomized victim selection (`uniform`).
+    pub(crate) rng: RefCell<SplitMix64>,
     _not_send: std::marker::PhantomData<*mut ()>,
 }
 
@@ -199,6 +215,8 @@ impl<'a> WorkerCtx<'a> {
             id,
             latent: RefCell::new(Vec::new()),
             poll_skip: std::cell::Cell::new(0),
+            promote: std::cell::Cell::new(PromoteState::default()),
+            rng: RefCell::new(SplitMix64::new(0x9E3779B9 ^ id as u64)),
             _not_send: std::marker::PhantomData,
         }
     }
@@ -229,8 +247,19 @@ impl<'a> WorkerCtx<'a> {
         }
         let n = self.shared.workers.len();
         if n > 1 {
-            let salt = self.shared.rng_salt.fetch_add(1, Ordering::Relaxed);
-            for v in victim_sequence(self.id, n, salt as usize) {
+            let policy = self.shared.victim;
+            // A fresh sweep salt per round keeps concurrent `sequence`
+            // thieves spread over victims; the other policies ignore it.
+            let salt = match policy {
+                Victim::Sequence => self.shared.rng_salt.fetch_add(1, Ordering::Relaxed),
+                _ => 0,
+            };
+            let mut rng = self.rng.borrow_mut();
+            for k in 0..(n - 1) as u64 {
+                let v = {
+                    let mut env = RngEnv::new(&mut rng, 0, n);
+                    policy.probe(&mut env, self.id, salt, k)
+                };
                 loop {
                     match self.shared.workers[v].stealer.steal() {
                         Steal::Success(job) => {
@@ -246,6 +275,29 @@ impl<'a> WorkerCtx<'a> {
             }
         }
         None
+    }
+
+    /// Asks the promotion policy whether this poll point — which
+    /// observed a due heartbeat iff `beat` — should attempt a promotion
+    /// now (the library surface of the policy kernel's
+    /// [`PromotionPolicy`](tpal_sched::PromotionPolicy)).
+    #[inline]
+    pub(crate) fn attempt_promotion(&self, beat: bool) -> bool {
+        use tpal_sched::PromotionPolicy as _;
+        let promo = self.shared.promotion;
+        // Only the adaptive policy consults the clock.
+        let now = match promo {
+            Promotion::AdaptiveTau { .. } if beat => now_ticks(),
+            _ => 0,
+        };
+        let mut st = self.promote.get();
+        if promo.should_attempt(&st, beat, now) {
+            st.record_promotion(now);
+            self.promote.set(st);
+            true
+        } else {
+            false
+        }
     }
 
     /// Runs queued work until `done` holds (a helping join: never
@@ -283,6 +335,17 @@ impl Runtime {
                 hb: HeartbeatCell::new(),
             });
         }
+        // The effective policy: `suppress_promotions` is a hard override
+        // (the serial-by-default measurement mode) over whatever the
+        // policy bundle asked for.
+        let effective = Policy {
+            promotion: if config.suppress_promotions {
+                Promotion::Never
+            } else {
+                config.policy.promotion
+            },
+            victim: config.policy.victim,
+        };
         let shared = Arc::new(Shared {
             workers,
             injector: Mutex::new(VecDeque::new()),
@@ -292,12 +355,14 @@ impl Runtime {
             counters: Counters::default(),
             source: config.source,
             interval_ticks: interval_ticks.max(1),
-            suppress_promotions: config.suppress_promotions,
+            promotion: effective.promotion,
+            victim: effective.victim,
             poll_stride: config.poll_stride.max(1),
             rng_salt: AtomicU64::new(0x9E3779B9),
-            tracer: config
-                .trace
-                .then(|| SharedTracer::new(config.workers, "ticks", interval_ticks.max(1))),
+            tracer: config.trace.then(|| {
+                SharedTracer::new(config.workers, "ticks", interval_ticks.max(1))
+                    .policy(effective.label())
+            }),
             start_ticks: now_ticks(),
         });
 
@@ -438,7 +503,9 @@ impl Drop for Runtime {
 fn worker_main(shared: Arc<Shared>, id: usize, owner: Worker<Job>) {
     LOCAL_DEQUE.with(|d| *d.borrow_mut() = Some(owner));
     let ctx = WorkerCtx::new(&shared, id);
-    shared.workers[id].hb.arm(shared.interval_ticks);
+    shared.workers[id]
+        .hb
+        .arm(shared.interval_ticks, now_ticks());
 
     while !shared.shutdown.load(Ordering::Acquire) {
         match ctx.find_job() {
@@ -470,41 +537,5 @@ fn ping_main(shared: Arc<Shared>, interval: Duration) {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::victim_sequence;
-
-    /// Satellite regression: the probe order must cover each of the
-    /// other workers exactly once — no duplicate probe, never self, and
-    /// no division by zero for a single-worker pool.
-    #[test]
-    fn victim_sequence_covers_others_exactly_once() {
-        for n in 1..=3usize {
-            for id in 0..n {
-                for salt in 0..7usize {
-                    let seq: Vec<usize> = victim_sequence(id, n, salt).collect();
-                    assert_eq!(seq.len(), n - 1, "n={n} id={id} salt={salt}");
-                    assert!(!seq.contains(&id), "self-probe: n={n} id={id} {seq:?}");
-                    let mut sorted = seq.clone();
-                    sorted.sort_unstable();
-                    sorted.dedup();
-                    assert_eq!(sorted.len(), n - 1, "duplicate probe: {seq:?}");
-                    for v in &seq {
-                        assert!(*v < n, "out of range: {seq:?}");
-                    }
-                }
-            }
-        }
-    }
-
-    /// Different salts rotate the starting victim, so concurrent thieves
-    /// spread over victims instead of convoying.
-    #[test]
-    fn victim_sequence_salt_rotates_start() {
-        let n = 3;
-        let starts: std::collections::BTreeSet<usize> = (0..2)
-            .map(|salt| victim_sequence(0, n, salt).next().unwrap())
-            .collect();
-        assert_eq!(starts.len(), 2, "salt must vary the first victim");
-    }
-}
+// The victim-order and heartbeat-cell unit tests live with the logic in
+// `tpal-sched` (plus a proptest over arbitrary pool shapes there).

@@ -1,0 +1,380 @@
+//! Heartbeat delivery: how beats reach the cores (§3.2 and §5 of the
+//! paper), in both domains.
+//!
+//! The cycle domain (simulator) configures an [`InterruptModel`] and
+//! advances deadlines/ping rounds through [`HeartbeatDelivery`] and
+//! [`PingChain`]. The tick domain (native runtime) configures a
+//! [`HeartbeatSource`] and polls a per-worker [`HeartbeatCell`]. The
+//! mechanisms correspond pairwise: `PerCoreTimer`/`JitteredTimer` ↔
+//! `LocalTimer`, `PingThread` ↔ `PingThread`, `Disabled` ↔ `Disabled`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::env::SchedEnv;
+
+/// How heartbeat interrupts reach simulated cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptModel {
+    /// Per-core timer interrupts (Nautilus: APIC timer + Nemo IPIs).
+    /// Every core's flag is raised exactly every ♥ cycles; servicing
+    /// costs `service_cost` cycles on the interrupted core.
+    PerCoreTimer {
+        /// Cycles charged to the core per delivered interrupt.
+        service_cost: u64,
+    },
+    /// Per-core timers whose expiries wander: each delivery re-arms at
+    /// `♥ + U[0, jitter]` cycles, modelling timers that cannot hold an
+    /// exact period (coalescing, shared timer wheels). The mean beat
+    /// interval is `♥ + jitter/2`.
+    JitteredTimer {
+        /// Uniform jitter added to each re-armed deadline, `[0, jitter]`.
+        jitter: u64,
+        /// Cycles charged to the core per delivered interrupt.
+        service_cost: u64,
+    },
+    /// A dedicated ping thread delivering OS signals to the cores one at
+    /// a time (the Linux INT-PingThread mechanism). Each delivery
+    /// occupies the signaller for `latency ± jitter` cycles, so a full
+    /// round over `P` cores takes about `P × latency`; when that exceeds
+    /// ♥ the target heartbeat rate is missed, as in Figure 10.
+    PingThread {
+        /// Signaller cycles per delivered signal.
+        latency: u64,
+        /// Uniform jitter added to each delivery, `[0, jitter]`.
+        jitter: u64,
+        /// Cycles charged to the receiving core per signal (kernel
+        /// signal-frame overhead).
+        service_cost: u64,
+    },
+    /// No heartbeats: latent parallelism is never promoted.
+    Disabled,
+}
+
+/// A uniform draw in `[0, jitter]`, drawing only when there is any
+/// jitter (so jitter-free configurations consume no stream positions).
+#[inline]
+fn jitter_draw<E: SchedEnv>(env: &mut E, jitter: u64) -> u64 {
+    if jitter > 0 {
+        env.rand_below(jitter + 1)
+    } else {
+        0
+    }
+}
+
+/// The delivery-policy face of the trait family: what the engines ask
+/// of a delivery mechanism. Implemented by [`InterruptModel`] (cycle
+/// domain) and [`HeartbeatSource`] (tick domain).
+pub trait HeartbeatDelivery {
+    /// Whether any delivery ever happens.
+    fn enabled(&self) -> bool;
+
+    /// Time charged to the receiving core per delivery (the tick
+    /// domain's cost is real and therefore 0 here).
+    fn service_cost(&self) -> u64;
+
+    /// The deadline following a delivery whose previous deadline was
+    /// `prev`, for per-core timer mechanisms. Jittered mechanisms draw
+    /// from `env` at this point — delivery order *is* stream order.
+    fn next_deadline<E: SchedEnv>(&self, env: &mut E, prev: u64, interval: u64) -> u64;
+}
+
+impl HeartbeatDelivery for InterruptModel {
+    fn enabled(&self) -> bool {
+        !matches!(self, InterruptModel::Disabled)
+    }
+
+    fn service_cost(&self) -> u64 {
+        match *self {
+            InterruptModel::PerCoreTimer { service_cost }
+            | InterruptModel::JitteredTimer { service_cost, .. }
+            | InterruptModel::PingThread { service_cost, .. } => service_cost,
+            InterruptModel::Disabled => 0,
+        }
+    }
+
+    fn next_deadline<E: SchedEnv>(&self, env: &mut E, prev: u64, interval: u64) -> u64 {
+        match *self {
+            InterruptModel::PerCoreTimer { .. } => prev + interval,
+            InterruptModel::JitteredTimer { jitter, .. } => {
+                prev + interval + jitter_draw(env, jitter)
+            }
+            // The ping thread has no per-core deadlines; its schedule is
+            // the PingChain's.
+            InterruptModel::PingThread { .. } => prev + interval,
+            InterruptModel::Disabled => u64::MAX,
+        }
+    }
+}
+
+impl InterruptModel {
+    /// The signaller occupancy of one ping delivery: `latency` plus the
+    /// jitter draw. Only meaningful for [`InterruptModel::PingThread`];
+    /// 0 (and no draw) otherwise.
+    pub fn ping_delay<E: SchedEnv>(&self, env: &mut E) -> u64 {
+        match *self {
+            InterruptModel::PingThread {
+                latency, jitter, ..
+            } => latency + jitter_draw(env, jitter),
+            _ => 0,
+        }
+    }
+}
+
+/// The ping-thread signaller's schedule: which core the next signal
+/// targets and when, delivering round-robin and resting between rounds
+/// so each round starts no earlier than one ♥ after the previous one.
+/// Both simulator engines previously each hand-rolled this round-wrap
+/// arithmetic; it lives here once now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingChain {
+    /// The core the next signal targets.
+    pub next_core: usize,
+    /// When the next signal lands. Maintained strictly increasing: at
+    /// most one delivery per time unit.
+    pub next_time: u64,
+    /// When the current round nominally began.
+    pub round_start: u64,
+}
+
+impl PingChain {
+    /// A signaller whose first delivery (to core 0) lands at
+    /// `first_time`, opening a round that nominally begins at
+    /// `round_start`.
+    pub fn new(first_time: u64, round_start: u64) -> PingChain {
+        PingChain {
+            next_core: 0,
+            next_time: first_time,
+            round_start,
+        }
+    }
+
+    /// Advances past a delivery performed at `now` that occupied the
+    /// signaller for `delay`: targets the next core, or wraps the round
+    /// and rests until the next beat boundary. `next_time` is clamped
+    /// strictly past `now` (one delivery per time unit).
+    pub fn advance(&mut self, now: u64, cores: usize, interval: u64, delay: u64) {
+        self.next_core += 1;
+        if self.next_core == cores {
+            // Round complete: rest until the next beat.
+            self.next_core = 0;
+            self.round_start += interval;
+            self.next_time = (now + delay).max(self.round_start);
+        } else {
+            self.next_time = now + delay;
+        }
+        self.next_time = self.next_time.max(now + 1);
+    }
+}
+
+/// How heartbeats reach native workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatSource {
+    /// A dedicated thread raises each worker's flag in turn every ♥
+    /// (the Linux `INT-PingThread` mechanism: simple, linear, jittery).
+    PingThread,
+    /// Each worker compares the CPU timestamp counter against a private
+    /// deadline at promotion-ready points (the Nautilus per-core APIC
+    /// timer mechanism: precise, no cross-thread traffic).
+    LocalTimer,
+    /// Heartbeats never fire; latent parallelism is never promoted.
+    Disabled,
+}
+
+impl HeartbeatDelivery for HeartbeatSource {
+    fn enabled(&self) -> bool {
+        !matches!(self, HeartbeatSource::Disabled)
+    }
+
+    fn service_cost(&self) -> u64 {
+        0
+    }
+
+    fn next_deadline<E: SchedEnv>(&self, _env: &mut E, prev: u64, interval: u64) -> u64 {
+        prev.wrapping_add(interval)
+    }
+}
+
+/// Per-worker heartbeat state: the delivery half of the native domain.
+/// The clock is passed in ([`HeartbeatCell::poll`] takes a `now`
+/// closure) so the cell itself stays domain-neutral and testable.
+#[derive(Debug)]
+pub struct HeartbeatCell {
+    /// Raised by the ping thread; consumed at promotion-ready points.
+    pub flag: AtomicBool,
+    /// Next local-timer deadline in ticks.
+    pub deadline: AtomicU64,
+    /// Heartbeats delivered to this worker.
+    pub delivered: AtomicU64,
+}
+
+impl Default for HeartbeatCell {
+    fn default() -> Self {
+        HeartbeatCell::new()
+    }
+}
+
+impl HeartbeatCell {
+    /// A cell with no pending beat and an unarmed timer.
+    pub fn new() -> Self {
+        HeartbeatCell {
+            flag: AtomicBool::new(false),
+            deadline: AtomicU64::new(u64::MAX),
+            delivered: AtomicU64::new(0),
+        }
+    }
+
+    /// Ping-thread delivery.
+    pub fn raise(&self) {
+        self.flag.store(true, Ordering::Release);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The promotion-point check. Returns `true` when a heartbeat is due
+    /// on this worker under the given source; `now` is read lazily (only
+    /// the local-timer source consults the clock).
+    #[inline]
+    pub fn poll(
+        &self,
+        source: HeartbeatSource,
+        interval_ticks: u64,
+        now: impl FnOnce() -> u64,
+    ) -> bool {
+        match source {
+            HeartbeatSource::Disabled => false,
+            HeartbeatSource::PingThread => {
+                // One relaxed load in the common case.
+                if self.flag.load(Ordering::Relaxed) {
+                    self.flag.store(false, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            HeartbeatSource::LocalTimer => {
+                let now = now();
+                let deadline = self.deadline.load(Ordering::Relaxed);
+                if now >= deadline {
+                    self.deadline
+                        .store(now.wrapping_add(interval_ticks), Ordering::Relaxed);
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Clears the delivery counter. Must be part of every stats reset:
+    /// delivery is counted here per worker rather than in any shared
+    /// counter block, so resetting only shared counters would leave
+    /// later serviced/delivered ratios computed against a stale
+    /// cumulative denominator.
+    pub fn reset_delivery(&self) {
+        self.delivered.store(0, Ordering::Relaxed);
+    }
+
+    /// Arms the local timer: first deadline one interval from `now`.
+    pub fn arm(&self, interval_ticks: u64, now: u64) {
+        self.deadline
+            .store(now.wrapping_add(interval_ticks), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::RngEnv;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn ping_flag_consumed_once() {
+        let c = HeartbeatCell::new();
+        assert!(!c.poll(HeartbeatSource::PingThread, 0, || 0));
+        c.raise();
+        assert!(c.poll(HeartbeatSource::PingThread, 0, || 0));
+        assert!(!c.poll(HeartbeatSource::PingThread, 0, || 0));
+        assert_eq!(c.delivered.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disabled_never_beats() {
+        let c = HeartbeatCell::new();
+        c.raise();
+        assert!(!c.poll(HeartbeatSource::Disabled, 0, || 0));
+    }
+
+    #[test]
+    fn local_timer_beats_after_deadline_and_rearms() {
+        let c = HeartbeatCell::new();
+        c.arm(100, 0);
+        assert!(!c.poll(HeartbeatSource::LocalTimer, 100, || 99));
+        assert!(c.poll(HeartbeatSource::LocalTimer, 100, || 100));
+        // Re-armed at now + interval.
+        assert!(!c.poll(HeartbeatSource::LocalTimer, 100, || 199));
+        assert!(c.poll(HeartbeatSource::LocalTimer, 100, || 200));
+        assert_eq!(c.delivered.load(Ordering::Relaxed), 2);
+        c.reset_delivery();
+        assert_eq!(c.delivered.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ping_chain_rests_between_rounds() {
+        // 3 cores, ♥ = 100, zero-latency deliveries: three deliveries
+        // back to back, then rest until the next beat boundary.
+        let mut chain = PingChain::new(100, 100);
+        chain.advance(100, 3, 100, 0);
+        assert_eq!((chain.next_core, chain.next_time), (1, 101));
+        chain.advance(101, 3, 100, 0);
+        assert_eq!((chain.next_core, chain.next_time), (2, 102));
+        chain.advance(102, 3, 100, 0);
+        assert_eq!((chain.next_core, chain.next_time), (0, 200));
+        assert_eq!(chain.round_start, 200);
+    }
+
+    #[test]
+    fn ping_chain_slow_round_slips_past_beat() {
+        // A round slower than ♥ starts the next one immediately (the
+        // Figure 10 missed-rate regime).
+        let mut chain = PingChain::new(100, 100);
+        chain.advance(100, 2, 100, 90);
+        assert_eq!((chain.next_core, chain.next_time), (1, 190));
+        chain.advance(190, 2, 100, 90);
+        assert_eq!((chain.next_core, chain.next_time), (0, 280));
+    }
+
+    #[test]
+    fn jittered_timer_draws_only_with_jitter() {
+        let mut rng = SplitMix64::new(5);
+        let position = rng.clone().next_u64();
+        let m = InterruptModel::JitteredTimer {
+            jitter: 0,
+            service_cost: 1,
+        };
+        let mut env = RngEnv::new(&mut rng, 0, 1);
+        assert_eq!(m.next_deadline(&mut env, 500, 100), 600);
+        assert_eq!(rng.next_u64(), position, "jitter 0 must not draw");
+
+        let mut rng = SplitMix64::new(5);
+        let m = InterruptModel::JitteredTimer {
+            jitter: 8,
+            service_cost: 1,
+        };
+        let mut env = RngEnv::new(&mut rng, 0, 1);
+        let d = m.next_deadline(&mut env, 500, 100);
+        assert!((600..=608).contains(&d));
+    }
+
+    #[test]
+    fn service_costs_and_enablement() {
+        use super::HeartbeatDelivery as _;
+        assert!(!InterruptModel::Disabled.enabled());
+        assert_eq!(
+            InterruptModel::PerCoreTimer { service_cost: 5 }.service_cost(),
+            5
+        );
+        assert!(HeartbeatSource::LocalTimer.enabled());
+        assert!(!HeartbeatSource::Disabled.enabled());
+        assert_eq!(HeartbeatSource::PingThread.service_cost(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The execution-domain abstraction policies are written against.
+
+use crate::rng::SplitMix64;
+
+/// What a scheduling policy may observe of its execution substrate: a
+/// clock, a randomness source, and the worker count. The simulator
+/// implements it over virtual cycles and its seeded [`SplitMix64`]
+/// stream; the native runtime over RDTSC ticks and per-worker
+/// generators. Policies written against this trait are therefore
+/// domain-portable by construction — the property the cross-domain
+/// parity suite checks.
+pub trait SchedEnv {
+    /// The current time, in the domain's unit (virtual cycles in the
+    /// simulator, timestamp ticks in the native runtime).
+    fn now(&self) -> u64;
+
+    /// The number of worker cores `P`.
+    fn cores(&self) -> usize;
+
+    /// The next 64 random bits.
+    fn rand_u64(&mut self) -> u64;
+
+    /// A uniform value in `[0, n)`; `n` must be positive. The default
+    /// reduction (`rand_u64() % n`) is the one both domains have always
+    /// used, so overriding it would change observable victim streams.
+    #[inline]
+    fn rand_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.rand_u64() % n
+    }
+}
+
+/// A ready-made [`SchedEnv`] over a borrowed [`SplitMix64`] stream —
+/// the simulator's domain (and the per-worker native one).
+#[derive(Debug)]
+pub struct RngEnv<'a> {
+    rng: &'a mut SplitMix64,
+    now: u64,
+    cores: usize,
+}
+
+impl<'a> RngEnv<'a> {
+    /// An environment at time `now` over `cores` cores drawing from
+    /// `rng`.
+    #[inline]
+    pub fn new(rng: &'a mut SplitMix64, now: u64, cores: usize) -> Self {
+        RngEnv { rng, now, cores }
+    }
+}
+
+impl SchedEnv for RngEnv<'_> {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    #[inline]
+    fn cores(&self) -> usize {
+        self.cores
+    }
+
+    #[inline]
+    fn rand_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

@@ -1,0 +1,44 @@
+//! The scheduler-policy kernel shared by the simulator and the native
+//! runtime.
+//!
+//! Heartbeat scheduling's guarantees come from *policy* — when latent
+//! parallelism is promoted, whom a thief probes, how heartbeats reach
+//! the workers — and this crate owns every one of those decisions in
+//! exactly one place. The two execution substrates differ only in their
+//! *domain*: the simulator counts virtual cycles and draws randomness
+//! from a seeded stream; the native runtime reads the CPU timestamp
+//! counter. Both are abstracted by the tiny [`SchedEnv`] trait (clock,
+//! RNG, core count), so the identical policy code drives both.
+//!
+//! The policy surface is a trait family with built-in implementations:
+//!
+//! * [`PromotionPolicy`] / [`Promotion`] — when a promotion-ready point
+//!   promotes: on the heartbeat (the paper's scheme), eagerly at every
+//!   opportunity (initial decomposition), never ("serial, interrupts
+//!   only"), or adaptively with a minimum spacing τ.
+//! * [`VictimPolicy`] / [`Victim`] — whom a thief probes: one uniform
+//!   draw per probe, the proven [`victim_sequence`] salted sweep, or a
+//!   locality-salted per-thief fixed order.
+//! * [`HeartbeatDelivery`] / [`InterruptModel`] / [`HeartbeatSource`] —
+//!   how beats reach cores: exact per-core timers, jittered timers, a
+//!   modelled ping thread ([`PingChain`]), or a native flag/deadline
+//!   cell ([`HeartbeatCell`]).
+//!
+//! A [`Policy`] bundles one promotion policy with one victim policy and
+//! threads through `SimConfig`, `RtConfig`, and `tpal-run --policy`.
+
+#![warn(missing_docs)]
+
+mod delivery;
+mod env;
+mod policy;
+mod promote;
+mod rng;
+mod victim;
+
+pub use delivery::{HeartbeatCell, HeartbeatDelivery, HeartbeatSource, InterruptModel, PingChain};
+pub use env::{RngEnv, SchedEnv};
+pub use policy::Policy;
+pub use promote::{PromoteState, PromoteStep, Promotion, PromotionPolicy};
+pub use rng::SplitMix64;
+pub use victim::{victim_sequence, Victim, VictimPolicy};

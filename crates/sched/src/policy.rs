@@ -1,0 +1,83 @@
+//! The policy bundle threaded through engine and runtime configs.
+
+use crate::promote::Promotion;
+use crate::victim::Victim;
+
+/// One promotion policy plus one victim policy — the unit selected by
+/// `tpal-run --policy`/`--victim`, stored in `SimConfig`/`RtConfig`,
+/// and tagged into traces for per-policy overhead attribution.
+///
+/// The default (`heartbeat` promotion, `uniform` victims) reproduces
+/// the pre-kernel simulator bit for bit; the native runtime overrides
+/// the victim half to its historical `sequence` sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Policy {
+    /// When promotion-ready points promote.
+    pub promotion: Promotion,
+    /// Whom a thief probes.
+    pub victim: Victim,
+}
+
+impl Policy {
+    /// The trace/CLI-facing name, e.g. `heartbeat/uniform` or
+    /// `adaptive:250/sequence`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.promotion.label(), self.victim.label())
+    }
+
+    /// Parses a combined label: a promotion policy name, optionally
+    /// followed by `/` and a victim policy name (the other half keeps
+    /// its default). Accepts everything [`Promotion::parse`] and
+    /// [`Victim::parse`] accept.
+    pub fn parse(s: &str) -> Result<Policy, String> {
+        let mut policy = Policy::default();
+        match s.split_once('/') {
+            Some((promo, victim)) => {
+                policy.promotion = Promotion::parse(promo)?;
+                policy.victim = Victim::parse(victim)?;
+            }
+            None => policy.promotion = Promotion::parse(s)?,
+        }
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_pre_kernel_configuration() {
+        let p = Policy::default();
+        assert_eq!(p.promotion, Promotion::Heartbeat);
+        assert_eq!(p.victim, Victim::Uniform);
+        assert_eq!(p.label(), "heartbeat/uniform");
+    }
+
+    #[test]
+    fn parse_combined_and_partial() {
+        assert_eq!(
+            Policy::parse("eager/sequence").unwrap(),
+            Policy {
+                promotion: Promotion::Eager,
+                victim: Victim::Sequence,
+            }
+        );
+        assert_eq!(
+            Policy::parse("adaptive:64").unwrap(),
+            Policy {
+                promotion: Promotion::AdaptiveTau { tau: 64 },
+                victim: Victim::Uniform,
+            }
+        );
+        assert!(Policy::parse("eager/elsewhere").is_err());
+        assert!(Policy::parse("nope/uniform").is_err());
+    }
+
+    #[test]
+    fn label_round_trips() {
+        for s in ["heartbeat/uniform", "never/locality", "adaptive:9/sequence"] {
+            assert_eq!(Policy::parse(s).unwrap().label(), s);
+        }
+    }
+}

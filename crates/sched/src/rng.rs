@@ -1,8 +1,10 @@
-//! A tiny deterministic RNG for reproducible simulations.
+//! A tiny deterministic RNG for reproducible scheduling decisions.
 
 /// SplitMix64: fast, well-distributed, and trivially seedable. Used for
 /// steal-victim selection and signal-delivery jitter so that every
-/// simulation is a pure function of its seed.
+/// simulation is a pure function of its seed. (Historically lived in
+/// `tpal-sim`, which still re-exports it; it moved here with the rest of
+/// the scheduling decisions.)
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
     state: u64,
@@ -17,6 +19,7 @@ impl SplitMix64 {
     }
 
     /// The next 64 random bits.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
@@ -26,6 +29,7 @@ impl SplitMix64 {
     }
 
     /// A uniform value in `[0, n)`; `n` must be positive.
+    #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         debug_assert!(n > 0);
         self.next_u64() % n
@@ -39,6 +43,7 @@ impl SplitMix64 {
     /// The simulator uses this to fast-forward over steal attempts whose
     /// failure is forced (every deque empty): the drawn victims are never
     /// observable, but the stream position after them is.
+    #[inline]
     pub fn skip(&mut self, n: u64) {
         self.state = self
             .state

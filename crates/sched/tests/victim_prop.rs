@@ -1,0 +1,54 @@
+//! Property tests for the deterministic victim sweep: for every thief
+//! id, core count, and salt, [`victim_sequence`] must visit *every
+//! other* core exactly once — never the thief itself, no repeats — so a
+//! full sweep is a fair probe of the whole machine regardless of where
+//! the salt rotates the start.
+
+use proptest::prelude::*;
+use tpal_sched::victim_sequence;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The sweep is a permutation of all cores but the thief.
+    #[test]
+    fn sweep_is_a_permutation_of_the_other_cores(
+        n in 2usize..=64,
+        id_raw in any::<usize>(),
+        salt in any::<usize>(),
+    ) {
+        let id = id_raw % n;
+        let victims: Vec<usize> = victim_sequence(id, n, salt).collect();
+        prop_assert_eq!(victims.len(), n - 1, "one probe per other core");
+
+        let mut seen = vec![false; n];
+        for &v in &victims {
+            prop_assert!(v < n, "victim {} out of range {}", v, n);
+            prop_assert!(v != id, "thief {} probed itself", id);
+            prop_assert!(!seen[v], "victim {} probed twice", v);
+            seen[v] = true;
+        }
+    }
+
+    /// The salt only rotates the sweep's starting point: consecutive
+    /// salts begin one offset apart but cover the same set.
+    #[test]
+    fn salt_rotates_the_start(
+        n in 3usize..=64,
+        id_raw in any::<usize>(),
+        salt in 0usize..1_000_000,
+    ) {
+        let id = id_raw % n;
+        let a: Vec<usize> = victim_sequence(id, n, salt).collect();
+        let b: Vec<usize> = victim_sequence(id, n, salt + 1).collect();
+        // b is a rotated one step ahead: b[k] == a[k + 1] for the
+        // overlapping prefix.
+        prop_assert_eq!(&b[..n - 2], &a[1..]);
+    }
+
+    /// A single core has no one to steal from.
+    #[test]
+    fn solo_core_has_empty_sweep(salt in any::<usize>()) {
+        prop_assert_eq!(victim_sequence(0, 1, salt).count(), 0);
+    }
+}

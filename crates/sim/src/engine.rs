@@ -28,38 +28,13 @@ use tpal_core::machine::{
 };
 use tpal_core::program::Program;
 
+use tpal_sched::{
+    HeartbeatDelivery, InterruptModel, PingChain, Policy, PromoteState, PromoteStep,
+    PromotionPolicy, RngEnv, SplitMix64, VictimPolicy,
+};
 use tpal_trace::{EventKind, OverheadKind, Trace, TraceBuilder};
 
-use crate::rng::SplitMix64;
 use crate::timeline::{Activity, Timeline};
-
-/// How heartbeat interrupts reach the cores (§3.2 and §5 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InterruptModel {
-    /// Per-core timer interrupts (Nautilus: APIC timer + Nemo IPIs).
-    /// Every core's flag is raised exactly every ♥ cycles; servicing
-    /// costs `service_cost` cycles on the interrupted core.
-    PerCoreTimer {
-        /// Cycles charged to the core per delivered interrupt.
-        service_cost: u64,
-    },
-    /// A dedicated ping thread delivering OS signals to the cores one at
-    /// a time (the Linux INT-PingThread mechanism). Each delivery
-    /// occupies the signaller for `latency ± jitter` cycles, so a full
-    /// round over `P` cores takes about `P × latency`; when that exceeds
-    /// ♥ the target heartbeat rate is missed, as in Figure 10.
-    PingThread {
-        /// Signaller cycles per delivered signal.
-        latency: u64,
-        /// Uniform jitter added to each delivery, `[0, jitter]`.
-        jitter: u64,
-        /// Cycles charged to the receiving core per signal (kernel
-        /// signal-frame overhead).
-        service_cost: u64,
-    },
-    /// No heartbeats: latent parallelism is never promoted.
-    Disabled,
-}
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +70,10 @@ pub struct SimConfig {
     /// Which promotion-ready mark `prmsplit` pops: the paper's
     /// outermost-first policy (§2.3) or its innermost-first ablation.
     pub promotion_order: PromotionOrder,
+    /// The scheduling policy: when promotion-ready points promote and
+    /// whom a thief probes. The default (`heartbeat/uniform`) is the
+    /// pre-kernel behaviour, bit for bit.
+    pub policy: Policy,
 }
 
 impl Default for SimConfig {
@@ -112,6 +91,7 @@ impl Default for SimConfig {
             record_timeline: false,
             record_trace: false,
             promotion_order: PromotionOrder::OldestFirst,
+            policy: Policy::default(),
         }
     }
 }
@@ -261,8 +241,13 @@ struct Core {
     current: Option<TaskState>,
     deque: std::collections::VecDeque<TaskState>,
     busy_until: u64,
-    hb_flag: bool,
+    /// Promotion-policy state (delivered-beat flag, adaptive spacing,
+    /// eager bounce guard) — consumed by [`PromotionPolicy`].
+    promote: PromoteState,
     next_hb: u64,
+    /// Monotone steal-probe counter, consumed by the deterministic
+    /// [`VictimPolicy`] orders (unused under `uniform`).
+    probe_k: u64,
 }
 
 /// A scheduled event, ordered by `(time, phase, core)` so that the heap
@@ -358,25 +343,28 @@ impl<'p> Sim<'p> {
     pub fn run(&mut self) -> Result<SimOutcome, MachineError> {
         let cfg = self.config;
         let mut rng = SplitMix64::new(cfg.seed);
+        // RNG draws one steal probe consumes — the parked-core
+        // fast-forward must skip exactly this much stream per settled
+        // retry.
+        let steal_draws = cfg.policy.victim.draws_per_probe();
         let mut stats = SimStats::default();
         let mut cores: Vec<Core> = (0..cfg.cores)
             .map(|_| Core {
                 current: None,
                 deque: std::collections::VecDeque::new(),
                 busy_until: 0,
-                hb_flag: false,
+                promote: PromoteState::default(),
                 next_hb: cfg.heartbeat,
+                probe_k: 0,
             })
             .collect();
         cores[0].current = Some(self.initial.take().expect("simulation already run"));
 
         // Ping-thread signaller state. Unlike the reference (which tests
-        // `now >= ping_next_time` once per cycle), `ping_next_time` here
+        // `now >= ping.next_time` once per cycle), `ping.next_time` here
         // is always the exact cycle of the next delivery, i.e. already
         // clamped to be strictly after the previous one.
-        let mut ping_next_core: usize = 0;
-        let mut ping_next_time: u64 = cfg.heartbeat.max(1);
-        let mut ping_round_start: u64 = cfg.heartbeat;
+        let mut ping = PingChain::new(cfg.heartbeat.max(1), cfg.heartbeat);
 
         let mut live_tasks: usize = 1;
         // Tasks sitting in deques right now. Zero means every steal
@@ -406,7 +394,7 @@ impl<'p> Sim<'p> {
         // work deque) and only when tracing is on, so the traced-off path
         // is exactly the code above plus one `None` branch per site.
         let mut tracer = if cfg.record_trace {
-            Some(TraceBuilder::new(cfg.cores, "cycles", cfg.heartbeat))
+            Some(TraceBuilder::new(cfg.cores, "cycles", cfg.heartbeat).policy(cfg.policy.label()))
         } else {
             None
         };
@@ -434,7 +422,8 @@ impl<'p> Sim<'p> {
                 if next < $bound {
                     let retry = cfg.steal_retry_cost;
                     let k = ($bound - 1 - next) / retry + 1;
-                    rng.skip(k);
+                    rng.skip(k * steal_draws);
+                    cores[$p].probe_k += k;
                     stats.failed_steals += k;
                     stats.idle_cycles += k * retry;
                     if let Some(tl) = &mut timeline {
@@ -498,7 +487,9 @@ impl<'p> Sim<'p> {
             push_action(&mut queue, c, 1);
         }
         match cfg.interrupt {
-            InterruptModel::PerCoreTimer { .. } => {
+            InterruptModel::PerCoreTimer { .. } | InterruptModel::JitteredTimer { .. } => {
+                // The first deadline is exact in both models; jitter
+                // enters at re-arm time, one draw per delivery.
                 for (c, core) in cores.iter().enumerate() {
                     queue.push(Reverse(Event {
                         time: core.next_hb.max(1),
@@ -509,9 +500,9 @@ impl<'p> Sim<'p> {
             }
             InterruptModel::PingThread { .. } => {
                 queue.push(Reverse(Event {
-                    time: ping_next_time,
+                    time: ping.next_time,
                     phase: PHASE_INTERRUPT,
-                    core: ping_next_core as u32,
+                    core: ping.next_core as u32,
                 }));
             }
             InterruptModel::Disabled => {}
@@ -542,7 +533,7 @@ impl<'p> Sim<'p> {
                             flush_one!(ci, now);
                         }
                         let core = &mut cores[ci];
-                        core.hb_flag = true;
+                        core.promote.beat = true;
                         core.next_hb += cfg.heartbeat;
                         core.busy_until = core.busy_until.max(now) + service_cost;
                         stats.heartbeats_delivered += 1;
@@ -565,18 +556,20 @@ impl<'p> Sim<'p> {
                             core: ev.core,
                         }));
                     }
-                    InterruptModel::PingThread {
-                        latency,
-                        jitter,
-                        service_cost,
-                    } => {
-                        // The jitter draw below must land at the right
-                        // stream position, and the receiving core's
-                        // chain shifts: settle all pending retries now.
+                    InterruptModel::JitteredTimer { service_cost, .. } => {
+                        // The re-arm jitter draw below must land at the
+                        // right stream position: settle all pending
+                        // parked retries (each may carry draws) first.
                         flush_parked!(ev);
-                        let ci = ping_next_core;
+                        let ci = ev.core as usize;
+                        let next = {
+                            let mut env = RngEnv::new(&mut rng, now, cfg.cores);
+                            cfg.interrupt
+                                .next_deadline(&mut env, cores[ci].next_hb, cfg.heartbeat)
+                        };
                         let core = &mut cores[ci];
-                        core.hb_flag = true;
+                        core.promote.beat = true;
+                        core.next_hb = next;
                         core.busy_until = core.busy_until.max(now) + service_cost;
                         stats.heartbeats_delivered += 1;
                         stats.overhead_cycles += service_cost;
@@ -590,22 +583,42 @@ impl<'p> Sim<'p> {
                                 what: OverheadKind::Interrupt
                             }
                         );
-                        let delay = latency + if jitter > 0 { rng.below(jitter + 1) } else { 0 };
-                        ping_next_core += 1;
-                        if ping_next_core == cfg.cores {
-                            // Round complete: rest until the next beat.
-                            ping_next_core = 0;
-                            ping_round_start += cfg.heartbeat;
-                            ping_next_time = (now + delay).max(ping_round_start);
-                        } else {
-                            ping_next_time = now + delay;
-                        }
-                        // One delivery per cycle, as in the reference.
-                        ping_next_time = ping_next_time.max(now + 1);
                         queue.push(Reverse(Event {
-                            time: ping_next_time,
+                            time: core.next_hb.max(now + 1),
                             phase: PHASE_INTERRUPT,
-                            core: ping_next_core as u32,
+                            core: ev.core,
+                        }));
+                    }
+                    InterruptModel::PingThread { service_cost, .. } => {
+                        // The jitter draw below must land at the right
+                        // stream position, and the receiving core's
+                        // chain shifts: settle all pending retries now.
+                        flush_parked!(ev);
+                        let ci = ping.next_core;
+                        let core = &mut cores[ci];
+                        core.promote.beat = true;
+                        core.busy_until = core.busy_until.max(now) + service_cost;
+                        stats.heartbeats_delivered += 1;
+                        stats.overhead_cycles += service_cost;
+                        trace!(ci, now, Activity::Overhead, service_cost);
+                        tev!(ci, now, 0, EventKind::HeartbeatDelivered);
+                        tev!(
+                            ci,
+                            now,
+                            service_cost,
+                            EventKind::Overhead {
+                                what: OverheadKind::Interrupt
+                            }
+                        );
+                        let delay = {
+                            let mut env = RngEnv::new(&mut rng, now, cfg.cores);
+                            cfg.interrupt.ping_delay(&mut env)
+                        };
+                        ping.advance(now, cfg.cores, cfg.heartbeat, delay);
+                        queue.push(Reverse(Event {
+                            time: ping.next_time,
+                            phase: PHASE_INTERRUPT,
+                            core: ping.next_core as u32,
                         }));
                     }
                     InterruptModel::Disabled => unreachable!("no interrupt source armed"),
@@ -646,8 +659,13 @@ impl<'p> Sim<'p> {
                         cores[c].busy_until = now;
                         continue;
                     }
-                    // Randomized steal from another core's top.
-                    let victim = (c + 1 + rng.below(cfg.cores as u64 - 1) as usize) % cfg.cores;
+                    // Steal from another core's top; the policy picks
+                    // the victim.
+                    let victim = {
+                        let mut env = RngEnv::new(&mut rng, now, cfg.cores);
+                        cfg.policy.victim.probe(&mut env, c, 0, cores[c].probe_k)
+                    };
+                    cores[c].probe_k += 1;
                     let stolen = cores[victim].deque.pop_front();
                     match stolen {
                         Some(t) => {
@@ -712,45 +730,65 @@ impl<'p> Sim<'p> {
 
             let mut task = cores[c].current.take().expect("task present");
 
-            // Pending heartbeat: serviced at the next promotion-ready
-            // program point (rollforward semantics).
-            if cores[c].hb_flag {
+            // Scheduling boundary: the promotion policy decides what a
+            // promotion-ready point does with the delivered beat
+            // (rollforward semantics — promotion happens only at
+            // promotion-ready program points).
+            let promo = cfg.policy.promotion;
+            let mut step_past = false;
+            if promo.wants_point_check(&cores[c].promote) {
                 if let Some(handler) = task.at_promotion_point(self.program) {
-                    task.divert_to_handler(handler);
-                    cores[c].hb_flag = false;
-                    stats.promotions += 1;
-                    tev!(c, now, 0, EventKind::HeartbeatServiced);
-                    tev!(
-                        c,
-                        now,
-                        0,
-                        EventKind::TaskPromote {
-                            task: current_id[c]
+                    match promo.decide(true, &mut cores[c].promote, now) {
+                        PromoteStep::Divert => {
+                            task.divert_to_handler(handler);
+                            stats.promotions += 1;
+                            tev!(c, now, 0, EventKind::HeartbeatServiced);
+                            tev!(
+                                c,
+                                now,
+                                0,
+                                EventKind::TaskPromote {
+                                    task: current_id[c]
+                                }
+                            );
                         }
-                    );
+                        PromoteStep::StepPast => step_past = true,
+                        PromoteStep::Run => {}
+                    }
                 }
             }
 
             // Batch horizon: this core cannot be re-flagged before its
-            // own next timer tick (PerCoreTimer) or the signaller's next
-            // delivery to *anyone* (PingThread — conservative, since the
-            // chain's future targets depend on jitter draws that must
-            // stay in delivery order). Interrupts at the horizon sort
-            // before the follow-up action, so the flag is seen then.
+            // own next timer tick (PerCoreTimer/JitteredTimer — the
+            // armed deadline is exact; jitter enters at re-arm) or the
+            // signaller's next delivery to *anyone* (PingThread —
+            // conservative, since the chain's future targets depend on
+            // jitter draws that must stay in delivery order). Interrupts
+            // at the horizon sort before the follow-up action, so the
+            // flag is seen then.
             let horizon = match cfg.interrupt {
-                InterruptModel::PerCoreTimer { .. } => cores[c].next_hb.max(now + 1),
-                InterruptModel::PingThread { .. } => ping_next_time.max(now + 1),
+                InterruptModel::PerCoreTimer { .. } | InterruptModel::JitteredTimer { .. } => {
+                    cores[c].next_hb.max(now + 1)
+                }
+                InterruptModel::PingThread { .. } => ping.next_time.max(now + 1),
                 InterruptModel::Disabled => u64::MAX,
             };
             let allowed = cfg
                 .step_limit
                 .saturating_add(1)
                 .saturating_sub(stats.instructions);
-            let max_steps = (horizon - now).min(allowed);
+            // A declined point must execute exactly one instruction
+            // unwatched (or the watch would pause at it again, forever).
+            let max_steps = if step_past {
+                1.min(allowed)
+            } else {
+                (horizon - now).min(allowed)
+            };
+            let watch = !step_past && promo.watch(&cores[c].promote);
 
             let (steps, pause) =
                 self.decoded
-                    .run_until(&mut task, &mut self.stores, max_steps, cores[c].hb_flag)?;
+                    .run_until(&mut task, &mut self.stores, max_steps, watch)?;
             if steps > 0 {
                 stats.instructions += steps;
                 stats.work_cycles += steps;
@@ -877,6 +915,9 @@ impl<'p> Sim<'p> {
                                 );
                             }
                             stats.forks += 1;
+                            // The diversion produced a task: re-arm the
+                            // eager policy's bounce guard.
+                            promo.on_fork(&mut cores[c].promote);
                             cores[c].deque.push_back(*child);
                             queued += 1;
                             // Work exists again: settle every parked

@@ -17,16 +17,21 @@ use tpal_core::machine::{
 };
 use tpal_core::program::Program;
 
-use crate::engine::{InterruptModel, SimConfig, SimOutcome, SimStats};
-use crate::rng::SplitMix64;
+use tpal_sched::{
+    HeartbeatDelivery, InterruptModel, PingChain, PromoteState, PromoteStep, PromotionPolicy,
+    RngEnv, SplitMix64, VictimPolicy,
+};
+
+use crate::engine::{SimConfig, SimOutcome, SimStats};
 use crate::timeline::{Activity, Timeline};
 
 struct Core {
     current: Option<TaskState>,
     deque: std::collections::VecDeque<TaskState>,
     busy_until: u64,
-    hb_flag: bool,
+    promote: PromoteState,
     next_hb: u64,
+    probe_k: u64,
 }
 
 /// The reference multicore simulator: one global tick per cycle.
@@ -102,16 +107,15 @@ impl<'p> SimRef<'p> {
                 current: None,
                 deque: std::collections::VecDeque::new(),
                 busy_until: 0,
-                hb_flag: false,
+                promote: PromoteState::default(),
                 next_hb: cfg.heartbeat,
+                probe_k: 0,
             })
             .collect();
         cores[0].current = Some(self.initial.take().expect("simulation already run"));
 
         // Ping-thread signaller state.
-        let mut ping_next_core: usize = 0;
-        let mut ping_next_time: u64 = cfg.heartbeat;
-        let mut ping_round_start: u64 = cfg.heartbeat;
+        let mut ping = PingChain::new(cfg.heartbeat, cfg.heartbeat);
 
         let mut now: u64 = 0;
         #[allow(unused_assignments)]
@@ -138,7 +142,7 @@ impl<'p> SimRef<'p> {
                 InterruptModel::PerCoreTimer { service_cost } => {
                     for (ci, core) in cores.iter_mut().enumerate() {
                         if now >= core.next_hb {
-                            core.hb_flag = true;
+                            core.promote.beat = true;
                             core.next_hb += cfg.heartbeat;
                             core.busy_until = core.busy_until.max(now) + service_cost;
                             stats.heartbeats_delivered += 1;
@@ -147,28 +151,44 @@ impl<'p> SimRef<'p> {
                         }
                     }
                 }
-                InterruptModel::PingThread {
-                    latency,
-                    jitter,
-                    service_cost,
-                } => {
-                    if now >= ping_next_time {
-                        let core = &mut cores[ping_next_core];
-                        core.hb_flag = true;
+                InterruptModel::JitteredTimer { service_cost, .. } => {
+                    for ci in 0..cfg.cores {
+                        if now >= cores[ci].next_hb {
+                            // One jitter draw per delivery, in core
+                            // index order — the stream-order contract
+                            // the event engine replays.
+                            let next = {
+                                let mut env = RngEnv::new(&mut rng, now, cfg.cores);
+                                cfg.interrupt.next_deadline(
+                                    &mut env,
+                                    cores[ci].next_hb,
+                                    cfg.heartbeat,
+                                )
+                            };
+                            let core = &mut cores[ci];
+                            core.promote.beat = true;
+                            core.next_hb = next;
+                            core.busy_until = core.busy_until.max(now) + service_cost;
+                            stats.heartbeats_delivered += 1;
+                            stats.overhead_cycles += service_cost;
+                            trace!(ci, Activity::Overhead, service_cost);
+                        }
+                    }
+                }
+                InterruptModel::PingThread { service_cost, .. } => {
+                    if now >= ping.next_time {
+                        let ci = ping.next_core;
+                        let core = &mut cores[ci];
+                        core.promote.beat = true;
                         core.busy_until = core.busy_until.max(now) + service_cost;
                         stats.heartbeats_delivered += 1;
                         stats.overhead_cycles += service_cost;
-                        trace!(ping_next_core, Activity::Overhead, service_cost);
-                        let delay = latency + if jitter > 0 { rng.below(jitter + 1) } else { 0 };
-                        ping_next_core += 1;
-                        if ping_next_core == cfg.cores {
-                            // Round complete: rest until the next beat.
-                            ping_next_core = 0;
-                            ping_round_start += cfg.heartbeat;
-                            ping_next_time = (now + delay).max(ping_round_start);
-                        } else {
-                            ping_next_time = now + delay;
-                        }
+                        trace!(ci, Activity::Overhead, service_cost);
+                        let delay = {
+                            let mut env = RngEnv::new(&mut rng, now, cfg.cores);
+                            cfg.interrupt.ping_delay(&mut env)
+                        };
+                        ping.advance(now, cfg.cores, cfg.heartbeat, delay);
                     }
                 }
                 InterruptModel::Disabled => {}
@@ -185,8 +205,13 @@ impl<'p> SimRef<'p> {
                     if let Some(t) = cores[c].deque.pop_back() {
                         cores[c].current = Some(t);
                     } else if cfg.cores > 1 {
-                        // Randomized steal from another core's top.
-                        let victim = (c + 1 + rng.below(cfg.cores as u64 - 1) as usize) % cfg.cores;
+                        // Steal from another core's top; the policy
+                        // picks the victim.
+                        let victim = {
+                            let mut env = RngEnv::new(&mut rng, now, cfg.cores);
+                            cfg.policy.victim.probe(&mut env, c, 0, cores[c].probe_k)
+                        };
+                        cores[c].probe_k += 1;
                         let stolen = cores[victim].deque.pop_front();
                         match stolen {
                             Some(t) => {
@@ -216,13 +241,22 @@ impl<'p> SimRef<'p> {
 
                 let mut task = cores[c].current.take().expect("task present");
 
-                // Pending heartbeat: serviced at the next promotion-ready
-                // program point (rollforward semantics).
-                if cores[c].hb_flag {
+                // Scheduling boundary: the promotion policy decides what
+                // a promotion-ready point does with the delivered beat
+                // (rollforward semantics).
+                let promo = cfg.policy.promotion;
+                if promo.wants_point_check(&cores[c].promote) {
                     if let Some(handler) = task.at_promotion_point(self.program) {
-                        task.divert_to_handler(handler);
-                        cores[c].hb_flag = false;
-                        stats.promotions += 1;
+                        match promo.decide(true, &mut cores[c].promote, now) {
+                            PromoteStep::Divert => {
+                                task.divert_to_handler(handler);
+                                stats.promotions += 1;
+                            }
+                            // This engine executes exactly one
+                            // instruction below either way, which is all
+                            // StepPast asks for.
+                            PromoteStep::StepPast | PromoteStep::Run => {}
+                        }
                     }
                 }
 
@@ -247,6 +281,9 @@ impl<'p> SimRef<'p> {
                         trace!(c, Activity::Work, 1);
                         trace!(c, Activity::Overhead, cfg.fork_cost);
                         stats.forks += 1;
+                        // The diversion produced a task: re-arm the
+                        // eager policy's bounce guard.
+                        promo.on_fork(&mut cores[c].promote);
                         cores[c].deque.push_back(*child);
                         cores[c].busy_until = now + 1 + cfg.fork_cost;
                         stats.overhead_cycles += cfg.fork_cost;

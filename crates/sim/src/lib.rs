@@ -55,10 +55,12 @@
 
 mod engine;
 mod engine_ref;
-mod rng;
 pub mod timeline;
 
-pub use engine::{InterruptModel, Sim, SimConfig, SimOutcome, SimStats};
+pub use engine::{Sim, SimConfig, SimOutcome, SimStats};
 pub use engine_ref::SimRef;
-pub use rng::SplitMix64;
+// Scheduling decisions (interrupt models, policies, the deterministic
+// RNG) live in the shared policy kernel; re-exported here so simulator
+// users need not depend on `tpal-sched` directly.
 pub use timeline::{Activity, Bucket, Timeline};
+pub use tpal_sched::{InterruptModel, Policy, Promotion, SplitMix64, Victim};

@@ -10,7 +10,7 @@
 //! mismatched counter or register.
 
 use tpal_ir::lower::{lower, Mode};
-use tpal_sim::{Sim, SimConfig, SimRef};
+use tpal_sim::{InterruptModel, Policy, Sim, SimConfig, SimRef};
 use tpal_workloads::{workload, Scale, SimSpec};
 
 const SEEDS: [u64; 3] = [0xDEC0DE, 1, 0xFEED_5EED];
@@ -23,54 +23,60 @@ fn configs() -> Vec<(&'static str, Mode, SimConfig)> {
     ]
 }
 
+/// Runs `spec` under `config` on both engines and asserts observable
+/// equivalence plus the workload checksum.
+fn assert_pair_agrees(spec: &SimSpec, mode: Mode, config: SimConfig, ctx: &str) {
+    let lowered = lower(&spec.ir, mode).unwrap_or_else(|e| panic!("lowering failed: {e}"));
+
+    let mut new_engine = Sim::new(&lowered.program, config);
+    let mut ref_engine = SimRef::new(&lowered.program, config);
+    for (pname, data) in &spec.input.arrays {
+        let base_new = new_engine.alloc_array(data);
+        let base_ref = ref_engine.alloc_array(data);
+        assert_eq!(base_new, base_ref, "{ctx}: array base for {pname}");
+        new_engine
+            .set_reg(&lowered.param_reg(pname), base_new)
+            .unwrap();
+        ref_engine
+            .set_reg(&lowered.param_reg(pname), base_ref)
+            .unwrap();
+    }
+    for (pname, v) in &spec.input.ints {
+        new_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+        ref_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+    }
+
+    let new_out = new_engine
+        .run()
+        .unwrap_or_else(|e| panic!("{ctx}: new engine failed: {e}"));
+    let ref_out = ref_engine
+        .run()
+        .unwrap_or_else(|e| panic!("{ctx}: reference engine failed: {e}"));
+
+    assert_eq!(new_out.time, ref_out.time, "{ctx}: makespan");
+    assert_eq!(new_out.stats, ref_out.stats, "{ctx}: stats");
+    assert_eq!(
+        new_out.final_regs(),
+        ref_out.final_regs(),
+        "{ctx}: final registers"
+    );
+    assert_eq!(
+        new_out.read_reg(&lowered.result_reg),
+        Some(spec.expected),
+        "{ctx}: checksum"
+    );
+}
+
 fn assert_engines_agree(name: &str) {
     let spec: SimSpec = workload(name)
         .expect("known workload")
         .sim_spec(Scale::Quick);
     for (label, mode, base) in configs() {
-        let lowered = lower(&spec.ir, mode).unwrap_or_else(|e| panic!("lowering failed: {e}"));
         for seed in SEEDS {
             let mut config = base;
             config.seed = seed;
             let ctx = format!("{name} / {label} / seed {seed:#x}");
-
-            let mut new_engine = Sim::new(&lowered.program, config);
-            let mut ref_engine = SimRef::new(&lowered.program, config);
-            for (pname, data) in &spec.input.arrays {
-                let base_new = new_engine.alloc_array(data);
-                let base_ref = ref_engine.alloc_array(data);
-                assert_eq!(base_new, base_ref, "{ctx}: array base for {pname}");
-                new_engine
-                    .set_reg(&lowered.param_reg(pname), base_new)
-                    .unwrap();
-                ref_engine
-                    .set_reg(&lowered.param_reg(pname), base_ref)
-                    .unwrap();
-            }
-            for (pname, v) in &spec.input.ints {
-                new_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
-                ref_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
-            }
-
-            let new_out = new_engine
-                .run()
-                .unwrap_or_else(|e| panic!("{ctx}: new engine failed: {e}"));
-            let ref_out = ref_engine
-                .run()
-                .unwrap_or_else(|e| panic!("{ctx}: reference engine failed: {e}"));
-
-            assert_eq!(new_out.time, ref_out.time, "{ctx}: makespan");
-            assert_eq!(new_out.stats, ref_out.stats, "{ctx}: stats");
-            assert_eq!(
-                new_out.final_regs(),
-                ref_out.final_regs(),
-                "{ctx}: final registers"
-            );
-            assert_eq!(
-                new_out.read_reg(&lowered.result_reg),
-                Some(spec.expected),
-                "{ctx}: checksum"
-            );
+            assert_pair_agrees(&spec, mode, config, &ctx);
         }
     }
 }
@@ -133,6 +139,64 @@ fn mergesort_exponential_engines_agree() {
 #[test]
 fn knapsack_engines_agree() {
     assert_engines_agree("knapsack");
+}
+
+/// Non-default policies must keep the engines in lockstep too: every
+/// promote/steal decision comes from the shared kernel (`tpal-sched`),
+/// so the matrix below — promotion policies that change *which* points
+/// promote crossed with victim policies that change the RNG draw
+/// pattern — would expose any engine-specific decision logic left
+/// behind by the refactor.
+#[test]
+fn policy_matrix_engines_agree() {
+    let policies = [
+        "eager/uniform",
+        "never/uniform",
+        "adaptive:7000/uniform",
+        "heartbeat/sequence",
+        "heartbeat/locality",
+        "eager/sequence",
+        "adaptive:5000/locality",
+    ];
+    for name in ["plus-reduce-array", "mergesort-uniform"] {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        for pspec in policies {
+            let policy = Policy::parse(pspec).expect("valid policy spec");
+            for (label, base) in [
+                ("linux-4", SimConfig::linux(4, 3_000)),
+                ("nautilus-8", SimConfig::nautilus(8, 3_000)),
+            ] {
+                let mut config = base;
+                config.policy = policy;
+                let ctx = format!("{name} / {label} / {pspec}");
+                assert_pair_agrees(&spec, Mode::Heartbeat, config, &ctx);
+            }
+        }
+    }
+}
+
+/// The jittered local timer draws its re-arm offsets from the shared
+/// RNG stream: both engines must consume the draws in the same order
+/// (core index order per delivery cycle) to stay equivalent.
+#[test]
+fn jittered_timer_engines_agree() {
+    for name in ["plus-reduce-array", "floyd-warshall-small"] {
+        let spec = workload(name)
+            .expect("known workload")
+            .sim_spec(Scale::Quick);
+        for seed in SEEDS {
+            let mut config = SimConfig::nautilus(8, 3_000);
+            config.interrupt = InterruptModel::JitteredTimer {
+                jitter: 400,
+                service_cost: 5,
+            };
+            config.seed = seed;
+            let ctx = format!("{name} / jittered-8 / seed {seed:#x}");
+            assert_pair_agrees(&spec, Mode::Heartbeat, config, &ctx);
+        }
+    }
 }
 
 /// The timelines must agree bucket-for-bucket too: the batching engine

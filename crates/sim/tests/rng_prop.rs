@@ -1,0 +1,39 @@
+//! Property test for the SplitMix64 skip-ahead the event-driven engine
+//! leans on: fast-forwarding a parked core's failed-steal retry chain
+//! replaces `k` individual draws with one O(1) [`SplitMix64::skip`], so
+//! skip must land the stream *exactly* where sequential drawing would.
+//!
+//! Exercised through the `tpal-sim` re-export — the path the engine
+//! itself uses — so a future re-wiring of the RNG source breaks here.
+
+use proptest::prelude::*;
+use tpal_sim::SplitMix64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `skip(k)` followed by one draw equals `k + 1` sequential draws.
+    #[test]
+    fn skip_matches_sequential_draws(seed in any::<u64>(), k in 0u64..10_000) {
+        let mut seq = SplitMix64::new(seed);
+        let mut last = 0;
+        for _ in 0..=k {
+            last = seq.next_u64();
+        }
+
+        let mut skipped = SplitMix64::new(seed);
+        skipped.skip(k);
+        prop_assert_eq!(skipped.next_u64(), last);
+    }
+
+    /// Skips compose: `skip(a); skip(b)` equals `skip(a + b)`.
+    #[test]
+    fn skips_compose(seed in any::<u64>(), a in 0u64..100_000, b in 0u64..100_000) {
+        let mut split = SplitMix64::new(seed);
+        split.skip(a);
+        split.skip(b);
+        let mut joined = SplitMix64::new(seed);
+        joined.skip(a + b);
+        prop_assert_eq!(split.next_u64(), joined.next_u64());
+    }
+}

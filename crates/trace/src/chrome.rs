@@ -145,9 +145,10 @@ pub fn chrome_json(trace: &Trace) -> String {
     }
     let _ = write!(
         out,
-        "],\n\"displayTimeUnit\":\"ns\",\"otherData\":{{\"timeUnit\":\"{}\",\"heartbeat\":{}}}}}",
+        "],\n\"displayTimeUnit\":\"ns\",\"otherData\":{{\"timeUnit\":\"{}\",\"heartbeat\":{},\"policy\":\"{}\"}}}}",
         json::escape(trace.time_unit),
-        trace.heartbeat
+        trace.heartbeat,
+        json::escape(&trace.policy)
     );
     out
 }
@@ -290,5 +291,18 @@ mod tests {
     fn empty_trace_renders_and_validates() {
         let text = chrome_json(&TraceBuilder::new(1, "cycles", 0).finish());
         assert_eq!(validate(&text).unwrap(), 1); // just the metadata record
+    }
+
+    #[test]
+    fn policy_tag_lands_in_other_data() {
+        let trace = TraceBuilder::new(1, "cycles", 5)
+            .policy("adaptive:64/sequence")
+            .finish();
+        let doc = json::parse(&chrome_json(&trace)).unwrap();
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(
+            other.get("policy").and_then(Json::as_str),
+            Some("adaptive:64/sequence")
+        );
     }
 }

@@ -147,6 +147,10 @@ pub struct Trace {
     /// The heartbeat interval ♥ of the run, in the same unit (0 when
     /// heartbeats were disabled).
     pub heartbeat: u64,
+    /// The scheduling-policy label of the run (`"heartbeat/uniform"`,
+    /// `"eager/sequence"`, …) so reports attribute overhead per policy;
+    /// empty when the recorder was not tagged.
+    pub policy: String,
     /// One track per core/worker.
     pub tracks: Vec<Track>,
 }
@@ -190,6 +194,7 @@ impl Trace {
 pub struct TraceBuilder {
     time_unit: &'static str,
     heartbeat: u64,
+    policy: String,
     tracks: Vec<Vec<TraceEvent>>,
     next_seq: u64,
 }
@@ -200,9 +205,16 @@ impl TraceBuilder {
         TraceBuilder {
             time_unit,
             heartbeat,
+            policy: String::new(),
             tracks: vec![Vec::new(); tracks],
             next_seq: 0,
         }
+    }
+
+    /// Tags the trace with the run's scheduling-policy label.
+    pub fn policy(mut self, label: impl Into<String>) -> TraceBuilder {
+        self.policy = label.into();
+        self
     }
 
     /// Records one event on `track`.
@@ -218,6 +230,7 @@ impl TraceBuilder {
         Trace {
             time_unit: self.time_unit,
             heartbeat: self.heartbeat,
+            policy: self.policy,
             tracks: self
                 .tracks
                 .into_iter()
@@ -239,6 +252,7 @@ impl TraceBuilder {
 pub struct SharedTracer {
     time_unit: &'static str,
     heartbeat: u64,
+    policy: String,
     bufs: Vec<Mutex<Vec<TraceEvent>>>,
     next_seq: AtomicU64,
 }
@@ -249,9 +263,16 @@ impl SharedTracer {
         SharedTracer {
             time_unit,
             heartbeat,
+            policy: String::new(),
             bufs: (0..tracks).map(|_| Mutex::new(Vec::new())).collect(),
             next_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Tags collected traces with the run's scheduling-policy label.
+    pub fn policy(mut self, label: impl Into<String>) -> SharedTracer {
+        self.policy = label.into();
+        self
     }
 
     /// Records one event on `track`.
@@ -270,6 +291,7 @@ impl SharedTracer {
         Trace {
             time_unit: self.time_unit,
             heartbeat: self.heartbeat,
+            policy: self.policy.clone(),
             tracks: self
                 .bufs
                 .iter()
@@ -311,6 +333,18 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.tracks[1].name, "worker 1");
         assert!(tr.collect().is_empty(), "collect drains");
+    }
+
+    #[test]
+    fn policy_tag_flows_into_traces() {
+        let t = TraceBuilder::new(1, "cycles", 8)
+            .policy("eager/sequence")
+            .finish();
+        assert_eq!(t.policy, "eager/sequence");
+        let tr = SharedTracer::new(1, "ticks", 8).policy("never/uniform");
+        assert_eq!(tr.collect().policy, "never/uniform");
+        assert_eq!(tr.collect().policy, "never/uniform", "tag survives drains");
+        assert_eq!(TraceBuilder::new(1, "cycles", 0).finish().policy, "");
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct MetricsReport {
     pub time_unit: &'static str,
     /// Heartbeat interval ♥ of the run (0 if disabled).
     pub heartbeat: u64,
+    /// Scheduling-policy label of the run (empty if untagged), so
+    /// side-by-side reports attribute overhead per policy.
+    pub policy: String,
     /// End of the last recorded event.
     pub makespan: u64,
     /// Activity totals per core, indexed like `trace.tracks`.
@@ -78,6 +81,7 @@ impl MetricsReport {
         let mut r = MetricsReport {
             time_unit: trace.time_unit,
             heartbeat: trace.heartbeat,
+            policy: trace.policy.clone(),
             makespan: trace.makespan(),
             per_core: vec![CoreActivity::default(); trace.tracks.len()],
             overhead_by_kind: [0; 4],
@@ -168,9 +172,14 @@ impl MetricsReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         let t = self.totals();
+        let policy = if self.policy.is_empty() {
+            String::new()
+        } else {
+            format!(", policy {}", self.policy)
+        };
         let _ = writeln!(
             s,
-            "trace metrics ({} cores, makespan {} {}, heartbeat {})",
+            "trace metrics ({} cores, makespan {} {}, heartbeat {}{policy})",
             self.per_core.len(),
             self.makespan,
             self.time_unit,
@@ -319,5 +328,16 @@ mod tests {
         assert!(text.contains("utilization 50.0%"));
         assert!(text.contains("serviced 1"));
         assert!(text.contains("core 1:"));
+        assert!(!text.contains("policy"), "untagged traces omit the field");
+    }
+
+    #[test]
+    fn render_attributes_policy_when_tagged() {
+        let trace = TraceBuilder::new(1, "cycles", 10)
+            .policy("eager/locality")
+            .finish();
+        let r = MetricsReport::from_trace(&trace);
+        assert_eq!(r.policy, "eager/locality");
+        assert!(r.render().contains("policy eager/locality"));
     }
 }

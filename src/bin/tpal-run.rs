@@ -5,6 +5,7 @@
 //! tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]]
 //!               [--set reg=int]... [--heartbeat N] [--tau N]
 //!               [--sim CORES] [--linux | --nautilus]
+//!               [--policy P[/V]] [--victim V]
 //!               [--newest-first] [--print]
 //!               [--trace OUT.json] [--profile]
 //! ```
@@ -16,6 +17,13 @@
 //! `result`. Runs on the reference machine by default, or on the
 //! multicore simulator with `--sim CORES`. `--print` prints the (parsed
 //! or generated) TPAL assembly instead of running.
+//!
+//! Scheduling policy (simulator runs only): `--policy` selects the
+//! promotion policy (`heartbeat`, `eager`, `never`, `adaptive:N`),
+//! optionally combined with a victim policy as `promo/victim`;
+//! `--victim` selects the steal-victim policy alone (`uniform`,
+//! `sequence`, `locality`). Both default to the historical behaviour
+//! (`heartbeat/uniform`).
 //!
 //! Observability (simulator runs only): `--trace OUT.json` records a
 //! structured scheduling trace and writes it as Chrome `trace_event`
@@ -29,15 +37,15 @@
 //! ```text
 //! cargo run --release --bin tpal-run -- programs/prod.tpal \
 //!     --set a=100000 --set b=3 --sim 8
-//! cargo run --release --bin tpal-run -- programs/sum.tpl --ir \
-//!     --set n=100000 --sim 8 --linux
+//! cargo run --release --bin tpal-run -- programs/sum.tpal \
+//!     --set main.n=100000 --sim 8 --linux --policy eager/sequence
 //! ```
 
 use std::process::ExitCode;
 
 use tpal::core::asm::{parse_program, print_program};
 use tpal::core::machine::{Machine, MachineConfig, PromotionOrder};
-use tpal::sim::{Sim, SimConfig};
+use tpal::sim::{Policy, Sim, SimConfig, Victim};
 
 struct Options {
     file: String,
@@ -50,6 +58,7 @@ struct Options {
     ir: bool,
     mode: tpal::ir::Mode,
     order: PromotionOrder,
+    policy: Policy,
     trace_out: Option<String>,
     profile: bool,
 }
@@ -57,8 +66,8 @@ struct Options {
 fn usage() -> String {
     "usage: tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]] \
      [--set reg=int]... [--heartbeat N] [--tau N] [--sim CORES] \
-     [--linux | --nautilus] [--newest-first] [--print] \
-     [--trace OUT.json] [--profile]"
+     [--linux | --nautilus] [--policy P[/V]] [--victim V] \
+     [--newest-first] [--print] [--trace OUT.json] [--profile]"
         .to_owned()
 }
 
@@ -75,6 +84,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         ir: false,
         mode: tpal::ir::Mode::Heartbeat,
         order: PromotionOrder::OldestFirst,
+        policy: Policy::default(),
         trace_out: None,
         profile: false,
     };
@@ -108,6 +118,20 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                         .map_err(|e| format!("--sim: {e}"))?,
                 );
             }
+            "--policy" => {
+                let spec = need(&mut args, "--policy")?;
+                let parsed = Policy::parse(&spec).map_err(|e| format!("--policy: {e}"))?;
+                opts.policy.promotion = parsed.promotion;
+                // Only override the victim half when the spec named one,
+                // so `--victim` and a bare `--policy` compose.
+                if spec.contains('/') {
+                    opts.policy.victim = parsed.victim;
+                }
+            }
+            "--victim" => {
+                opts.policy.victim = Victim::parse(&need(&mut args, "--victim")?)
+                    .map_err(|e| format!("--victim: {e}"))?;
+            }
             "--trace" => opts.trace_out = Some(need(&mut args, "--trace")?),
             "--profile" => opts.profile = true,
             "--newest-first" => opts.order = PromotionOrder::NewestFirst,
@@ -136,6 +160,9 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
     }
     if (opts.trace_out.is_some() || opts.profile) && opts.sim_cores.is_none() {
         return Err("--trace/--profile need a simulator run (--sim CORES)".to_owned());
+    }
+    if opts.policy != Policy::default() && opts.sim_cores.is_none() {
+        return Err("--policy/--victim need a simulator run (--sim CORES)".to_owned());
     }
     Ok(opts)
 }
@@ -214,6 +241,7 @@ fn main() -> ExitCode {
             SimConfig::nautilus(cores, heartbeat)
         };
         config.promotion_order = opts.order;
+        config.policy = opts.policy;
         config.record_trace = opts.trace_out.is_some() || opts.profile;
         let mut sim = Sim::new(&program, config);
         for (k, v) in &sets {
@@ -224,7 +252,10 @@ fn main() -> ExitCode {
         }
         match sim.run() {
             Ok(out) => {
-                println!("simulated {cores} cores, ♥ = {heartbeat}:");
+                println!(
+                    "simulated {cores} cores, ♥ = {heartbeat}, policy = {}:",
+                    opts.policy.label()
+                );
                 let mut regs = Vec::new();
                 for i in 0..program.reg_count() {
                     let name = program

@@ -37,9 +37,50 @@ fn pow_corpus() {
 }
 
 #[test]
-fn sum_tpl_corpus_through_frontend() {
-    let src = std::fs::read_to_string("programs/sum.tpl").unwrap();
-    let ir = tpal::ir::parse_ir(&src).unwrap_or_else(|e| panic!("{e}"));
+fn sum_corpus_simulated() {
+    let p = load("sum");
+    let n = 5_000i64;
+    let expected: i64 = (0..n).map(|i| i * 3 + 1).sum();
+    let mut sim = Sim::new(&p, SimConfig::nautilus(4, 3_000));
+    sim.set_reg("main.n", n).unwrap();
+    assert_eq!(sim.run().unwrap().read_reg("result"), Some(expected));
+}
+
+/// Every file under `programs/` must be assemblable TPAL (`.tpal`): a
+/// bad example — or a stray file in another language — can never land
+/// silently.
+#[test]
+fn every_shipped_program_assembles() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir("programs").unwrap() {
+        let path = entry.unwrap().path();
+        assert_eq!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("tpal"),
+            "{}: non-assembly file in programs/",
+            path.display()
+        );
+        let src = std::fs::read_to_string(&path).unwrap();
+        parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        checked += 1;
+    }
+    assert!(checked >= 4, "expected the full corpus, found {checked}");
+}
+
+/// The source-language original of `programs/sum.tpal` (the assembly is
+/// its heartbeat lowering) must keep meaning the same thing under every
+/// lowering mode.
+#[test]
+fn sum_source_corpus_through_frontend() {
+    let src = "\
+        fn main(n) {\n\
+            a = alloc(n);\n\
+            parfor i in 0..n { a[i] = i * 3 + 1; }\n\
+            s = 0;\n\
+            parfor i in 0..n reduce(s: +, 0) { s = s + a[i]; }\n\
+            return s;\n\
+        }\n";
+    let ir = tpal::ir::parse_ir(src).unwrap_or_else(|e| panic!("{e}"));
     let n = 5_000i64;
     let expected: i64 = (0..n).map(|i| i * 3 + 1).sum();
     for mode in [

@@ -1,0 +1,163 @@
+//! Cross-domain policy parity: one shared [`Policy`] object must induce
+//! the same qualitative scheduling behaviour in both execution domains —
+//! the simulator's deterministic cycle domain and the native runtime's
+//! RDTSC tick domain.
+//!
+//! The same policy value is handed to `SimConfig` and `RtConfig`; the
+//! suite then checks the policy ordering that defines each promotion
+//! policy's meaning:
+//!
+//! * `never`  — zero promotions (the "interrupts only" configuration),
+//! * `heartbeat` — promotions gated on delivered beats,
+//! * `eager` — promotions at (nearly) every promotion-ready point,
+//!
+//! with **exact** assertions in the simulator (it is deterministic: the
+//! counts are reproducible bit for bit) and **tolerance-banded**
+//! assertions in the native runtime (wall-clock beats make the counts
+//! noisy, but the bands that separate the policies are orders of
+//! magnitude wide).
+
+use std::time::Duration;
+
+use tpal::ir::lower::{lower, Mode};
+use tpal::rt::{RtConfig, RtStats, Runtime};
+use tpal::sim::{Policy, Sim, SimConfig, SimStats};
+use tpal::workloads::{workload, Scale};
+
+/// The shared policy objects under test — parsed once, used verbatim in
+/// both domains.
+fn shared_policies() -> [(&'static str, Policy); 3] {
+    [
+        ("heartbeat", Policy::parse("heartbeat").unwrap()),
+        ("eager", Policy::parse("eager").unwrap()),
+        ("never", Policy::parse("never").unwrap()),
+    ]
+}
+
+/// Runs the quick plus-reduce workload on the simulator under `policy`
+/// and returns the run's stats, asserting the checksum.
+fn sim_stats(policy: Policy) -> SimStats {
+    let spec = workload("plus-reduce-array")
+        .expect("known workload")
+        .sim_spec(Scale::Quick);
+    let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+    let mut config = SimConfig::nautilus(4, 3_000);
+    config.policy = policy;
+    let mut sim = Sim::new(&lowered.program, config);
+    for (pname, data) in &spec.input.arrays {
+        let base = sim.alloc_array(data);
+        sim.set_reg(&lowered.param_reg(pname), base).unwrap();
+    }
+    for (pname, v) in &spec.input.ints {
+        sim.set_reg(&lowered.param_reg(pname), *v).unwrap();
+    }
+    let out = sim.run().unwrap();
+    assert_eq!(
+        out.read_reg(&lowered.result_reg),
+        Some(spec.expected),
+        "checksum under {}",
+        policy.label()
+    );
+    out.stats
+}
+
+const RT_N: usize = 200_000;
+const RT_STRIDE: usize = 32;
+
+/// Runs a latent reduce on the native runtime under `policy` and
+/// returns the run's stats, asserting the sum. The heartbeat interval
+/// is deliberately long (10 ms) so heartbeat-gated promotions stay far
+/// below eager's per-poll-block promotions.
+fn rt_stats(policy: Policy) -> RtStats {
+    let rt = Runtime::new(
+        RtConfig::default()
+            .workers(2)
+            .heartbeat(Duration::from_millis(10))
+            .poll_stride(RT_STRIDE)
+            .policy(policy),
+    );
+    let total = rt.run(|ctx| ctx.reduce(0..RT_N, 0u64, |_, i, acc| acc + i as u64, |a, b| a + b));
+    assert_eq!(
+        total,
+        (RT_N as u64 - 1) * RT_N as u64 / 2,
+        "sum under {}",
+        policy.label()
+    );
+    rt.stats()
+}
+
+/// Simulator domain, exact: the policy ordering holds with
+/// deterministic, reproducible counts.
+#[test]
+fn sim_policies_order_promotions_exactly() {
+    let [(_, hb), (_, eager), (_, never)] = shared_policies();
+    let hb = sim_stats(hb);
+    let eager = sim_stats(eager);
+    let never = sim_stats(never);
+
+    // `never` runs the heartbeat-lowered program fully serially: no
+    // promotions, hence no tasks and nothing to steal — but beats are
+    // still *delivered* (the mechanism runs; the policy declines).
+    assert_eq!(never.promotions, 0);
+    assert_eq!(never.forks, 0);
+    assert_eq!(never.steals, 0);
+    assert!(never.heartbeats_delivered > 0, "delivery is policy-free");
+
+    // `heartbeat` promotes only on delivered beats.
+    assert!(hb.promotions > 0);
+    assert!(hb.promotions <= hb.heartbeats_delivered);
+
+    // `eager` promotes at every promotion-ready point it can.
+    assert!(
+        eager.promotions > hb.promotions,
+        "eager {} vs heartbeat {}",
+        eager.promotions,
+        hb.promotions
+    );
+}
+
+/// Simulator runs are bit-reproducible per policy: the *exact* half of
+/// the cross-domain contract.
+#[test]
+fn sim_policy_runs_are_reproducible() {
+    for (name, policy) in shared_policies() {
+        assert_eq!(sim_stats(policy), sim_stats(policy), "policy {name}");
+    }
+}
+
+/// Native-runtime domain, tolerance-banded: the same three policy
+/// objects produce the same ordering, with bands wide enough for
+/// wall-clock noise.
+#[test]
+fn rt_policies_order_promotions_within_bands() {
+    let [(_, hb), (_, eager), (_, never)] = shared_policies();
+    let hb = rt_stats(hb);
+    let eager = rt_stats(eager);
+    let never = rt_stats(never);
+
+    // Never: exactly zero even in the noisy domain.
+    assert_eq!(never.promotions, 0);
+
+    // Eager promotes once per poll block that still has work to split;
+    // the floor leaves an 8x band below the nominal N/stride rate.
+    let eager_floor = (RT_N / (8 * RT_STRIDE)) as u64;
+    assert!(
+        eager.promotions >= eager_floor,
+        "eager promotions {} below floor {eager_floor}",
+        eager.promotions
+    );
+
+    // A 10 ms heartbeat admits at most a handful of beats into a
+    // sub-millisecond reduce; eager must sit far above it.
+    assert!(
+        eager.promotions > hb.promotions,
+        "eager {} vs heartbeat {}",
+        eager.promotions,
+        hb.promotions
+    );
+    assert!(
+        hb.promotions < eager_floor / 2,
+        "heartbeat promotions {} not separated from eager floor {eager_floor}",
+        hb.promotions
+    );
+}
