@@ -1,25 +1,32 @@
-//! Simulated instructions per second of the decoded, event-driven
-//! engine ([`Sim`]) versus the cycle-tick reference ([`SimRef`]), at
-//! the paper's 15 cores, over four workload shapes: flat reduction
-//! (`plus-reduce-array`), nested loops (`floyd-warshall-small`),
-//! irregular fork-join recursion (`mergesort-uniform`), and an
-//! escape-time flat loop with data-dependent trip counts
-//! (`mandelbrot`). Writes `BENCH_sim_throughput.json` at the repo root
-//! with the measured speedups, the tracing-off throughput relative to
-//! the pre-trace baseline (the zero-cost-when-off check), the slowdown
-//! with structured tracing recording, and a scheduling-policy sweep
-//! (`heartbeat` vs `eager` vs `never` promotion on the flat and nested
-//! shapes) tracking what each policy costs the simulator hot path.
+//! Simulated instructions per second of the event-driven engine
+//! ([`Sim`]) at each **execution tier** (reference interpreter, decoded
+//! micro-ops, threaded code) versus the cycle-tick reference
+//! ([`SimRef`]), at the paper's 15 cores, over four workload shapes:
+//! flat reduction (`plus-reduce-array`), nested loops
+//! (`floyd-warshall-small`), irregular fork-join recursion
+//! (`mergesort-uniform`), and an escape-time flat loop with
+//! data-dependent trip counts (`mandelbrot`). Writes
+//! `BENCH_sim_throughput.json` at the repo root (atomically: temp file
+//! in the same directory, then rename) with per-tier throughput
+//! columns, the threaded-over-decoded speedup, the decoded tier's
+//! throughput relative to the pre-trace baseline (the
+//! zero-cost-when-off check), the slowdown with structured tracing
+//! recording, and a scheduling-policy sweep (`heartbeat` vs `eager` vs
+//! `never` promotion on the flat and nested shapes) tracking what each
+//! policy costs the simulator hot path.
 //!
 //! With `TPAL_BENCH_SMOKE=1` the bench runs each workload once per
-//! engine and asserts the engines agree — a CI-sized canary for decode
-//! regressions (panics, equivalence drift under `debug_assertions`) —
-//! without criterion sampling and without touching the JSON record.
+//! engine *per tier* and asserts they all agree — a CI-sized canary for
+//! decode/threaded-compile regressions (panics, equivalence drift under
+//! `debug_assertions`) — then times `plus-reduce-array` on the decoded
+//! and threaded tiers and fails if threaded is more than 10% slower
+//! than decoded, without criterion sampling and without touching the
+//! JSON record.
 
 use criterion::{criterion_group, Criterion, Throughput};
 
 use tpal_ir::lower::{lower, Mode};
-use tpal_sim::{Policy, Sim, SimConfig, SimRef};
+use tpal_sim::{ExecTier, Policy, Sim, SimConfig, SimRef};
 use tpal_workloads::{workload, Scale};
 
 const CASES: [&str; 4] = [
@@ -34,10 +41,11 @@ const CASES: [&str; 4] = [
 const SWEEP_CASES: [&str; 2] = ["plus-reduce-array", "floyd-warshall-small"];
 const SWEEP_POLICIES: [&str; 3] = ["heartbeat", "eager", "never"];
 
-/// Event-engine throughput (instr/s) recorded by the previous bench run
-/// on this machine, before the trace subsystem landed. The tracing-off
+/// Decoded-tier throughput (instr/s) recorded by the previous bench run
+/// on this machine, before the trace subsystem landed. The decoded
 /// column of the JSON record reports the relative change against these —
-/// the "tracing off costs nothing" regression check.
+/// the "tracing off costs nothing" regression check, now also guarding
+/// the decoded hot loop against slowdowns from the threaded-tier work.
 const BASELINE_INSTR_PER_SEC: [(&str, f64); 4] = [
     ("plus-reduce-array", 186_024_958.0),
     ("floyd-warshall-small", 212_638_181.0),
@@ -45,8 +53,19 @@ const BASELINE_INSTR_PER_SEC: [(&str, f64); 4] = [
     ("mandelbrot", 180_049_343.0),
 ];
 
+/// Smoke-mode regression gate: threaded may be at most this much slower
+/// than decoded on `plus-reduce-array` (it should be *faster*; the
+/// slack absorbs shared-runner noise).
+const SMOKE_MAX_THREADED_SLOWDOWN: f64 = 1.10;
+
 fn config() -> SimConfig {
     SimConfig::nautilus(15, 3_000)
+}
+
+fn tier_config(tier: ExecTier) -> SimConfig {
+    let mut cfg = config();
+    cfg.exec_tier = tier;
+    cfg
 }
 
 /// Builds, seeds, and runs one simulator engine on a workload spec.
@@ -64,26 +83,79 @@ macro_rules! run_engine {
     }};
 }
 
-/// One engine-agreement pass over every case: the decoded engine's
-/// stats must equal the reference's under the bench configuration.
+/// One engine-agreement pass over every case and every tier: each
+/// tier's stats must equal the cycle-tick reference's under the bench
+/// configuration. Then the smoke-sized perf gate: threaded must not be
+/// more than [`SMOKE_MAX_THREADED_SLOWDOWN`] slower than decoded on the
+/// flat reduction.
 fn check_equivalence() {
-    let config = config();
     for name in CASES {
         let spec = workload(name)
             .expect("known workload")
             .sim_spec(Scale::Quick);
         let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
-        let new_out = run_engine!(Sim, lowered, spec, config);
-        let ref_out = run_engine!(SimRef, lowered, spec, config);
-        assert_eq!(
-            new_out.stats, ref_out.stats,
-            "{name}: engines diverged under bench config"
-        );
+        let ref_out = run_engine!(SimRef, lowered, spec, config());
+        for tier in ExecTier::ALL {
+            let new_out = run_engine!(Sim, lowered, spec, tier_config(tier));
+            assert_eq!(
+                new_out.stats, ref_out.stats,
+                "{name} [{tier}]: engines diverged under bench config"
+            );
+        }
         println!(
-            "sim_throughput smoke {name}: {} instrs, engines agree",
-            new_out.stats.instructions
+            "sim_throughput smoke {name}: {} instrs, all tiers agree",
+            ref_out.stats.instructions
         );
     }
+
+    // Perf gate, min-of-7 interleaved (same estimator as the JSON
+    // record): a threaded-tier dispatch regression should not hide
+    // behind the equivalence checks.
+    let name = "plus-reduce-array";
+    let spec = workload(name)
+        .expect("known workload")
+        .sim_spec(Scale::Quick);
+    let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
+    let mut decoded_ns = u128::MAX;
+    let mut threaded_ns = u128::MAX;
+    for _ in 0..7 {
+        let start = std::time::Instant::now();
+        std::hint::black_box(
+            run_engine!(Sim, lowered, spec, tier_config(ExecTier::Decoded))
+                .stats
+                .instructions,
+        );
+        decoded_ns = decoded_ns.min(start.elapsed().as_nanos());
+        let start = std::time::Instant::now();
+        std::hint::black_box(
+            run_engine!(Sim, lowered, spec, tier_config(ExecTier::Threaded))
+                .stats
+                .instructions,
+        );
+        threaded_ns = threaded_ns.min(start.elapsed().as_nanos());
+    }
+    let ratio = threaded_ns as f64 / decoded_ns.max(1) as f64;
+    println!(
+        "sim_throughput smoke {name}: decoded {decoded_ns} ns, \
+         threaded {threaded_ns} ns ({:.2}x decoded-over-threaded)",
+        1.0 / ratio
+    );
+    assert!(
+        ratio <= SMOKE_MAX_THREADED_SLOWDOWN,
+        "{name}: threaded tier is {:.0}% slower than decoded \
+         (gate: {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (SMOKE_MAX_THREADED_SLOWDOWN - 1.0) * 100.0
+    );
+}
+
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, then rename, so a reader (or an interrupted run) never
+/// observes a half-written record.
+fn write_atomic(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).expect("write bench record temp file");
+    std::fs::rename(&tmp, path).expect("rename bench record into place");
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {
@@ -97,9 +169,12 @@ fn bench_sim_throughput(c: &mut Criterion) {
         let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
         let instructions = run_engine!(Sim, lowered, spec, config).stats.instructions;
         g.throughput(Throughput::Elements(instructions));
-        g.bench_function(&format!("{name}/event_batched"), |b| {
-            b.iter(|| run_engine!(Sim, lowered, spec, config).stats.instructions)
-        });
+        for tier in ExecTier::ALL {
+            let cfg = tier_config(tier);
+            g.bench_function(&format!("{name}/tier_{tier}"), |b| {
+                b.iter(|| run_engine!(Sim, lowered, spec, cfg).stats.instructions)
+            });
+        }
         g.bench_function(&format!("{name}/cycle_tick_ref"), |b| {
             b.iter(|| {
                 run_engine!(SimRef, lowered, spec, config)
@@ -127,7 +202,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
     g.finish();
 
     // Direct timed comparison for the JSON record (the criterion samples
-    // above are for humans, this is for the regression file). The two
+    // above are for humans, this is for the regression file). All
     // engines' samples are interleaved and the minimum is kept:
     // run-to-run noise on a shared machine is strictly additive, so
     // min-of-N is the robust estimator for a deterministic
@@ -140,22 +215,27 @@ fn bench_sim_throughput(c: &mut Criterion) {
             .sim_spec(Scale::Quick);
         let lowered = lower(&spec.ir, Mode::Heartbeat).unwrap();
 
-        let new_out = run_engine!(Sim, lowered, spec, config);
         let ref_out = run_engine!(SimRef, lowered, spec, config);
-        assert_eq!(
-            new_out.stats, ref_out.stats,
-            "{name}: engines diverged under bench config"
-        );
-        let instructions = new_out.stats.instructions;
-        let mut traced_config = config;
+        for tier in ExecTier::ALL {
+            let new_out = run_engine!(Sim, lowered, spec, tier_config(tier));
+            assert_eq!(
+                new_out.stats, ref_out.stats,
+                "{name} [{tier}]: engines diverged under bench config"
+            );
+        }
+        let instructions = ref_out.stats.instructions;
+        let mut traced_config = tier_config(ExecTier::Threaded);
         traced_config.record_trace = true;
-        let mut new_ns = u128::MAX;
+        let mut tier_ns = [u128::MAX; 3];
         let mut ref_ns = u128::MAX;
         let mut traced_ns = u128::MAX;
         for _ in 0..7 {
-            let start = std::time::Instant::now();
-            std::hint::black_box(run_engine!(Sim, lowered, spec, config).stats.instructions);
-            new_ns = new_ns.min(start.elapsed().as_nanos());
+            for (k, tier) in ExecTier::ALL.into_iter().enumerate() {
+                let cfg = tier_config(tier);
+                let start = std::time::Instant::now();
+                std::hint::black_box(run_engine!(Sim, lowered, spec, cfg).stats.instructions);
+                tier_ns[k] = tier_ns[k].min(start.elapsed().as_nanos());
+            }
             let start = std::time::Instant::now();
             std::hint::black_box(
                 run_engine!(SimRef, lowered, spec, config)
@@ -171,40 +251,56 @@ fn bench_sim_throughput(c: &mut Criterion) {
             );
             traced_ns = traced_ns.min(start.elapsed().as_nanos());
         }
-        let speedup = ref_ns as f64 / new_ns.max(1) as f64;
+        let [interp_ns, decoded_ns, threaded_ns] = tier_ns;
+        let speedup = ref_ns as f64 / threaded_ns.max(1) as f64;
+        let threaded_vs_decoded = decoded_ns as f64 / threaded_ns.max(1) as f64;
         let ips = |ns: u128| instructions as f64 * 1e9 / ns.max(1) as f64;
         let baseline = BASELINE_INSTR_PER_SEC
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, b)| *b)
             .expect("baseline recorded for every case");
-        // Positive = faster than the pre-trace baseline run.
-        let vs_baseline_pct = (ips(new_ns) / baseline - 1.0) * 100.0;
-        let tracing_overhead_pct = (traced_ns as f64 / new_ns.max(1) as f64 - 1.0) * 100.0;
+        // Positive = decoded tier faster than the pre-trace baseline run.
+        let decoded_vs_baseline_pct = (ips(decoded_ns) / baseline - 1.0) * 100.0;
+        let tracing_overhead_pct = (traced_ns as f64 / threaded_ns.max(1) as f64 - 1.0) * 100.0;
         println!(
             "sim_throughput {name}: {instructions} instrs, \
-             event {:.1} Minstr/s ({vs_baseline_pct:+.1}% vs pre-trace baseline), \
-             ref {:.1} Minstr/s, speedup {speedup:.1}x, \
+             interp {:.1} / decoded {:.1} / threaded {:.1} Minstr/s \
+             (threaded {threaded_vs_decoded:.2}x decoded, \
+             decoded {decoded_vs_baseline_pct:+.1}% vs pre-trace baseline), \
+             cycle-tick ref {:.1} Minstr/s, speedup {speedup:.1}x, \
              tracing on {tracing_overhead_pct:+.1}%",
-            ips(new_ns) / 1e6,
+            ips(interp_ns) / 1e6,
+            ips(decoded_ns) / 1e6,
+            ips(threaded_ns) / 1e6,
             ips(ref_ns) / 1e6,
         );
         entries.push(format!(
             "    {{\n      \"workload\": \"{name}\",\n      \"instructions\": {instructions},\n      \
-             \"event_engine_ns\": {new_ns},\n      \"cycle_tick_ref_ns\": {ref_ns},\n      \
-             \"event_engine_traced_ns\": {traced_ns},\n      \
-             \"event_engine_instr_per_sec\": {:.0},\n      \
-             \"cycle_tick_ref_instr_per_sec\": {:.0},\n      \"speedup\": {speedup:.2},\n      \
-             \"tracing_off_vs_baseline_pct\": {vs_baseline_pct:.2},\n      \
+             \"tier_ref_ns\": {interp_ns},\n      \
+             \"tier_decoded_ns\": {decoded_ns},\n      \
+             \"tier_threaded_ns\": {threaded_ns},\n      \
+             \"cycle_tick_ref_ns\": {ref_ns},\n      \
+             \"tier_threaded_traced_ns\": {traced_ns},\n      \
+             \"tier_ref_instr_per_sec\": {:.0},\n      \
+             \"tier_decoded_instr_per_sec\": {:.0},\n      \
+             \"tier_threaded_instr_per_sec\": {:.0},\n      \
+             \"cycle_tick_ref_instr_per_sec\": {:.0},\n      \
+             \"speedup\": {speedup:.2},\n      \
+             \"threaded_speedup_vs_decoded\": {threaded_vs_decoded:.2},\n      \
+             \"decoded_vs_baseline_pct\": {decoded_vs_baseline_pct:.2},\n      \
              \"tracing_on_overhead_pct\": {tracing_overhead_pct:.2}\n    }}",
-            ips(new_ns),
+            ips(interp_ns),
+            ips(decoded_ns),
+            ips(threaded_ns),
             ips(ref_ns),
         ));
     }
     // Scheduling-policy sweep: same min-of-N estimator, event engine
-    // only (the equivalence suite covers engine agreement per policy).
-    // Eager runs more instructions (every handler runs) and never runs
-    // fewer (no handlers at all), so each row records its own count.
+    // at the default (threaded) tier only (the equivalence suite covers
+    // engine agreement per policy). Eager runs more instructions (every
+    // handler runs) and never runs fewer (no handlers at all), so each
+    // row records its own count.
     let mut sweep_entries = Vec::new();
     for name in SWEEP_CASES {
         let spec = workload(name)
@@ -251,7 +347,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_sim_throughput.json"
     );
-    std::fs::write(path, json).expect("write BENCH_sim_throughput.json");
+    write_atomic(path, &json);
 }
 
 criterion_group! {

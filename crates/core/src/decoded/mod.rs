@@ -49,11 +49,21 @@ use crate::machine::step::{eval_binop, exec_plain, RunPause, Stores, TaskState};
 use crate::machine::{MachineError, Value};
 use crate::program::Program;
 
+/// Funnels a fault off the hot dispatch path: the optimizer moves every
+/// `return Err(cold_fault(..))` out of line, keeping the fall-through
+/// dispatch code dense (faults are exceptional by construction — a
+/// faulting program terminates).
+#[cold]
+#[inline(never)]
+pub(crate) fn cold_fault(e: MachineError) -> MachineError {
+    e
+}
+
 /// Reads a register from the borrowed register slice (the dispatch loop
 /// borrows the file once, keeping its pointer and length in machine
 /// registers across stack and heap stores).
 #[inline(always)]
-fn rread(regs: &[Value], r: Reg) -> Result<Value, MachineError> {
+pub(crate) fn rread(regs: &[Value], r: Reg) -> Result<Value, MachineError> {
     match regs[r.index()] {
         Value::Uninit => Err(MachineError::UninitRegister { reg: r }),
         v => Ok(v),
@@ -62,19 +72,19 @@ fn rread(regs: &[Value], r: Reg) -> Result<Value, MachineError> {
 
 /// Reads a stack pointer from the borrowed register slice.
 #[inline(always)]
-fn rstack(regs: &[Value], r: Reg) -> Result<StackRef, MachineError> {
+pub(crate) fn rstack(regs: &[Value], r: Reg) -> Result<StackRef, MachineError> {
     rread(regs, r)?.as_stack()
 }
 
 /// Sentinel in the `pc_of` table: this source instruction is in the
 /// interior of a fused micro-op (not a dispatch point).
-const MID: u32 = u32::MAX;
+pub(crate) const MID: u32 = u32::MAX;
 
 /// An operand with its immediate pre-resolved (kept as the raw payload
 /// rather than a [`Value`] so the enum stays 16 bytes; the `Value` is
 /// rebuilt for free in a register at evaluation time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Src {
+pub(crate) enum Src {
     /// Read a register at runtime.
     Reg(Reg),
     /// An inlined integer immediate.
@@ -85,7 +95,7 @@ enum Src {
 
 impl Src {
     #[inline(always)]
-    fn eval(self, regs: &[Value]) -> Result<Value, MachineError> {
+    pub(crate) fn eval(self, regs: &[Value]) -> Result<Value, MachineError> {
         match self {
             Src::Reg(r) => rread(regs, r),
             Src::Int(n) => Ok(Value::Int(n)),
@@ -105,7 +115,7 @@ impl Src {
 /// An integer-typed operand (heap offsets and stored words), with the
 /// type error for a label literal pre-computed at decode time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IntSrc {
+pub(crate) enum IntSrc {
     /// Read a register, then require an integer.
     Reg(Reg),
     /// An inlined integer immediate.
@@ -116,7 +126,7 @@ enum IntSrc {
 
 impl IntSrc {
     #[inline(always)]
-    fn eval(self, regs: &[Value]) -> Result<i64, MachineError> {
+    pub(crate) fn eval(self, regs: &[Value]) -> Result<i64, MachineError> {
         match self {
             IntSrc::Reg(r) => rread(regs, r)?.as_int(),
             IntSrc::Imm(n) => Ok(n),
@@ -142,7 +152,7 @@ impl IntSrc {
 /// path. Falls back to [`eval_binop`] for everything else — semantics
 /// (including faults) are unchanged.
 #[inline(always)]
-fn eval_binop_fast(op: BinOp, l: Value, r: Value) -> Result<Value, MachineError> {
+pub(crate) fn eval_binop_fast(op: BinOp, l: Value, r: Value) -> Result<Value, MachineError> {
     if let (Value::Int(a), Value::Int(b)) = (l, r) {
         match op {
             BinOp::Lt => return Ok(Value::Int(if a < b { 0 } else { 1 })),
@@ -161,7 +171,7 @@ fn eval_binop_fast(op: BinOp, l: Value, r: Value) -> Result<Value, MachineError>
 /// the micro-op array. Micro-ops are laid out block-major in source
 /// order, so "fall through" is always `pc + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum UOp {
+pub(crate) enum UOp {
     /// `r := v`.
     Mov { dst: Reg, src: Src },
     /// `r := r' op v`.
@@ -293,33 +303,33 @@ pub struct UopSource {
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
     /// The micro-op stream, block-major in label order.
-    uops: Vec<UOp>,
+    pub(crate) uops: Vec<UOp>,
     /// The watch-mode stream: identical to `uops` except every `prppt`
     /// block entry is a [`UOp::PrpptPause`], so watch-mode dispatch
     /// needs no per-op flag check.
-    watch_uops: Vec<UOp>,
+    pub(crate) watch_uops: Vec<UOp>,
     /// Provenance of each micro-op (parallel to `uops`).
-    src: Vec<UopSource>,
+    pub(crate) src: Vec<UopSource>,
     /// `prppt` entry flag per micro-op: true iff this micro-op starts a
     /// promotion-ready block (parallel to `uops`; decode-time input to
     /// `watch_uops`, kept for introspection and tests).
-    prppt_entry: Vec<bool>,
+    pub(crate) prppt_entry: Vec<bool>,
     /// Every instruction of the program, block-major (the stepwise
     /// fallback executes from here when a quantum splits a fused op).
-    flat: Vec<Instr>,
+    pub(crate) flat: Vec<Instr>,
     /// Per block (label index): base of its instructions in `flat`.
-    instr_base: Vec<u32>,
+    pub(crate) instr_base: Vec<u32>,
     /// Per block: micro-op index of its entry.
-    block_entry: Vec<u32>,
+    pub(crate) block_entry: Vec<u32>,
     /// Per flat instruction index: the micro-op starting there, or
     /// [`MID`] if it is interior to a fused micro-op.
-    pc_of: Vec<u32>,
+    pub(crate) pc_of: Vec<u32>,
     /// Per block: the `prppt` handler label, if any (hoisted from
     /// [`crate::isa::Annotation`]).
-    handlers: Vec<Option<Label>>,
+    pub(crate) handlers: Vec<Option<Label>>,
     /// Per block: unit cost weight (its instruction count — every
     /// instruction weighs 1 in the cost semantics).
-    weights: Vec<u32>,
+    pub(crate) weights: Vec<u32>,
 }
 
 /// Length of the fused run starting at `i` in a block's instruction
@@ -716,7 +726,7 @@ impl DecodedProgram {
                     Ok(false) => return Ok(RunPause::Boundary),
                     Err(e) => {
                         *steps += 1;
-                        return Err(e);
+                        return Err(cold_fault(e));
                     }
                 }
             };
@@ -751,7 +761,7 @@ impl DecodedProgram {
                     task.block = Label::from_index(s.block as usize);
                     task.instr = (s.instr + $parts) as usize;
                     *steps = max_steps - remaining + $parts as u64;
-                    return Err($e);
+                    return Err(cold_fault($e));
                 }};
             }
             macro_rules! part {
@@ -778,7 +788,7 @@ impl DecodedProgram {
                         Ok(false) => return Ok(RunPause::Boundary),
                         Err(e) => {
                             *steps += 1;
-                            return Err(e);
+                            return Err(cold_fault(e));
                         }
                     }
                     break;

@@ -11,7 +11,6 @@
 use std::collections::VecDeque;
 
 use crate::cost::CostGraph;
-use crate::decoded::DecodedProgram;
 use crate::isa::Label;
 use crate::machine::stack::PromotionOrder;
 use crate::machine::step::{
@@ -19,6 +18,7 @@ use crate::machine::step::{
 };
 use crate::machine::value::{MachineError, RegFile, Value};
 use crate::program::Program;
+use crate::tier::{ExecBackend, ExecTier};
 
 /// How the reference executor interleaves runnable tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +77,9 @@ pub struct MachineConfig {
     /// Which promotion-ready mark `prmsplit` pops: the paper's
     /// outermost-first policy, or its innermost-first ablation foil.
     pub promotion_order: PromotionOrder,
+    /// Which interpreter tier executes straight-line stretches. All
+    /// tiers are bit-identical in outcome (see [`crate::tier`]).
+    pub exec_tier: ExecTier,
 }
 
 impl Default for MachineConfig {
@@ -88,6 +91,7 @@ impl Default for MachineConfig {
             policy: SchedulePolicy::ParentFirst,
             build_cost_graph: false,
             promotion_order: PromotionOrder::OldestFirst,
+            exec_tier: ExecTier::default(),
         }
     }
 }
@@ -129,6 +133,12 @@ impl MachineConfig {
     /// Sets the promotion order (default: the paper's outermost-first).
     pub fn with_promotion_order(mut self, order: PromotionOrder) -> Self {
         self.promotion_order = order;
+        self
+    }
+
+    /// Sets the execution tier (default: threaded).
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = tier;
         self
     }
 }
@@ -224,7 +234,7 @@ impl SplitMix64 {
 #[derive(Debug)]
 pub struct Machine<'p> {
     program: &'p Program,
-    decoded: DecodedProgram,
+    backend: ExecBackend,
     config: MachineConfig,
     stores: Stores,
     initial: Option<TaskState>,
@@ -247,7 +257,7 @@ impl<'p> Machine<'p> {
         stores.stacks.set_promotion_order(config.promotion_order);
         Machine {
             program,
-            decoded: DecodedProgram::decode(program),
+            backend: ExecBackend::new(program, config.exec_tier),
             config,
             stores,
             initial: Some(initial),
@@ -371,9 +381,13 @@ impl<'p> Machine<'p> {
                     .saturating_sub(stats.instructions);
                 let max_steps = until_hb.min(until_quantum).min(until_limit);
 
-                let (steps, pause) =
-                    self.decoded
-                        .run_until(&mut task, &mut self.stores, max_steps, watch)?;
+                let (steps, pause) = self.backend.run_until(
+                    self.program,
+                    &mut task,
+                    &mut self.stores,
+                    max_steps,
+                    watch,
+                )?;
                 stats.instructions += steps;
                 if stats.instructions > config.step_limit {
                     return Err(MachineError::StepLimitExceeded {

@@ -1,0 +1,1068 @@
+//! The pre-bound handler bodies of the threaded tier.
+//!
+//! Every handler has the uniform signature `fn(&mut Frame, &OpData) ->
+//! u32`: it executes one (possibly fused or merged) micro-op against the
+//! borrowed working sets in the [`Frame`], decrements the step budget,
+//! and returns either the absolute program counter of the next handler
+//! (pre-resolved at compile time into the [`OpData`] jump slots) or one
+//! of the exit sentinels ([`X_FAULT`], [`X_SPLIT`], [`X_BOUNDARY`],
+//! [`X_PRPPT`]). The dispatch loop in the parent module is therefore a
+//! single indirect call per micro-op — no opcode decode, no operand
+//! matching, no side-table loads.
+//!
+//! Fault and split behaviour mirrors `DecodedProgram::run_loop` exactly:
+//! a handler that cannot fit in the remaining budget returns [`X_SPLIT`]
+//! *before* touching any state, and a fault records how many constituent
+//! source instructions completed (the faulting one included) so the
+//! driver can reconstruct the reference interpreter's task position and
+//! step count.
+
+use crate::decoded::{cold_fault, rread};
+use crate::isa::{BinOp, Label, Reg};
+use crate::machine::heap::Heap;
+use crate::machine::stack::{StackRef, StackStore};
+use crate::machine::step::eval_binop;
+use crate::machine::{MachineError, Value};
+
+/// Exit sentinel: fault at the current dispatch pc; the error is in
+/// `Frame::fault` and the constituent count in `Frame::fault_parts`.
+pub(crate) const X_FAULT: u32 = u32::MAX;
+/// Exit sentinel: fault attributed to `Frame::fault_pc` instead of the
+/// dispatch pc (used by loop templates that execute other spans' work).
+pub(crate) const X_FAULT_AT: u32 = u32::MAX - 1;
+/// Exit sentinel: the remaining budget cannot cover this fused/merged
+/// micro-op; the driver falls back to stepwise execution.
+pub(crate) const X_SPLIT: u32 = u32::MAX - 2;
+/// Exit sentinel: a scheduling/allocation boundary instruction.
+pub(crate) const X_BOUNDARY: u32 = u32::MAX - 3;
+/// Exit sentinel: a `prppt` block entry in watch mode.
+pub(crate) const X_PRPPT: u32 = u32::MAX - 4;
+/// Driver-internal sentinel: quantum exhausted at a dispatch point.
+/// Never returned by a handler; smallest sentinel, so `>= X_QUANTUM`
+/// tests for "any exit".
+pub(crate) const X_QUANTUM: u32 = u32::MAX - 5;
+
+/// The borrowed working sets of one dispatch run, plus the live step
+/// budget and the fault side-channel. Borrowing once per run (instead of
+/// per handler call) lets the compiler keep the slice pointers in
+/// machine registers across the indirect calls.
+pub(crate) struct Frame<'a> {
+    pub(crate) regs: &'a mut [Value],
+    pub(crate) stacks: &'a mut StackStore,
+    pub(crate) hwords: &'a mut [i64],
+    pub(crate) block_entry: &'a [u32],
+    /// Guarded-update loop templates, indexed by `OpData::imm2` from
+    /// [`h_guarded_loop`] (payloads too wide for one `OpData`).
+    pub(crate) guarded: &'a [GuardedLoop],
+    /// Steps left in the quantum; counts down like the decoded loop.
+    pub(crate) remaining: u64,
+    pub(crate) fault: Option<MachineError>,
+    pub(crate) fault_parts: u32,
+    pub(crate) fault_pc: u32,
+}
+
+/// A pre-bound micro-op handler. The return value is the next pc, or an
+/// exit sentinel (`>= X_QUANTUM`).
+pub(crate) type Handler = fn(&mut Frame<'_>, &OpData) -> u32;
+
+/// The pre-resolved operand payload of one threaded micro-op: register
+/// slots, jump targets, operators, and immediates, all bound at compile
+/// time. One fixed 64-byte layout for every handler keeps the fetch
+/// side of dispatch a single indexed load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OpData {
+    /// Register slots (meaning is per-handler).
+    pub(crate) r: [u32; 8],
+    /// Jump slots: `t[0]` is the fall-through / taken target, `t[1]` the
+    /// alternate target, `t[2]` a loop template's own pc.
+    pub(crate) t: [u32; 3],
+    pub(crate) op_a: BinOp,
+    pub(crate) op_b: BinOp,
+    pub(crate) op_c: BinOp,
+    pub(crate) imm: i64,
+    pub(crate) imm2: i64,
+}
+
+impl OpData {
+    pub(crate) fn new() -> OpData {
+        OpData {
+            r: [0; 8],
+            t: [0; 3],
+            op_a: BinOp::Add,
+            op_b: BinOp::Add,
+            op_c: BinOp::Add,
+            imm: 0,
+            imm2: 0,
+        }
+    }
+}
+
+/// Reads a register by pre-resolved index (the threaded counterpart of
+/// `decoded::rread`).
+#[inline(always)]
+fn rget(regs: &[Value], i: u32) -> Result<Value, MachineError> {
+    rread(regs, Reg::from_index(i as usize))
+}
+
+/// Reads a stack pointer by pre-resolved index.
+#[inline(always)]
+fn rget_stack(regs: &[Value], i: u32) -> Result<StackRef, MachineError> {
+    rget(regs, i)?.as_stack()
+}
+
+/// [`eval_binop`] with every specialised operator peeled for the
+/// all-integer case. The peels cannot fault and compute the same values
+/// as `eval_binop`, so semantics (results and faults) are unchanged —
+/// this is the same argument `decoded::eval_binop_fast` makes, extended
+/// to `Mul` and `Le`.
+#[inline(always)]
+fn alu_fast(op: BinOp, l: Value, r: Value) -> Result<Value, MachineError> {
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        match op {
+            BinOp::Add => return Ok(Value::Int(a.wrapping_add(b))),
+            BinOp::Sub => return Ok(Value::Int(a.wrapping_sub(b))),
+            BinOp::Mul => return Ok(Value::Int(a.wrapping_mul(b))),
+            BinOp::Lt => return Ok(Value::Int(if a < b { 0 } else { 1 })),
+            BinOp::Le => return Ok(Value::Int(if a <= b { 0 } else { 1 })),
+            _ => {}
+        }
+    }
+    eval_binop(op, l, r)
+}
+
+/// Records a fault at the current dispatch pc after `$parts` constituent
+/// instructions (the faulting one included) and exits.
+macro_rules! fail {
+    ($f:expr, $parts:expr, $e:expr) => {{
+        $f.fault = Some(cold_fault($e));
+        $f.fault_parts = $parts;
+        return X_FAULT;
+    }};
+}
+
+/// `?` for handlers: propagates an error as a [`fail!`].
+macro_rules! tryf {
+    ($f:expr, $parts:expr, $e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(e) => fail!($f, $parts, e),
+        }
+    };
+}
+
+/// Records a fault attributed to another span's pc (loop templates).
+macro_rules! fail_at {
+    ($f:expr, $pc:expr, $parts:expr, $e:expr) => {{
+        $f.fault = Some(cold_fault($e));
+        $f.fault_parts = $parts;
+        $f.fault_pc = $pc;
+        return X_FAULT_AT;
+    }};
+}
+
+/// `?` for loop templates: propagates with explicit pc attribution.
+macro_rules! tryf_at {
+    ($f:expr, $pc:expr, $parts:expr, $e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(e) => fail_at!($f, $pc, $parts, e),
+        }
+    };
+}
+
+/// A fused shape's pre-resolved rhs operand: `r` reads slot `r[2]`, `i`
+/// rebuilds the inlined integer, `l` the inlined label.
+macro_rules! rhs_val {
+    (r, $f:expr, $o:expr, $parts:expr) => {
+        tryf!($f, $parts, rget($f.regs, $o.r[2]))
+    };
+    (i, $f:expr, $o:expr, $parts:expr) => {
+        Value::Int($o.imm)
+    };
+    (l, $f:expr, $o:expr, $parts:expr) => {
+        Value::Label(Label::from_index($o.r[2] as usize))
+    };
+}
+
+// ---------------------------------------------------------------------
+// Plain singles. The driver guarantees `remaining >= 1` on entry, so
+// singles never check the budget; they cost exactly one step.
+// ---------------------------------------------------------------------
+
+pub(crate) fn h_mov_r(f: &mut Frame, o: &OpData) -> u32 {
+    let v = tryf!(f, 1, rget(f.regs, o.r[1]));
+    f.regs[o.r[0] as usize] = v;
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_mov_i(f: &mut Frame, o: &OpData) -> u32 {
+    f.regs[o.r[0] as usize] = Value::Int(o.imm);
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_mov_l(f: &mut Frame, o: &OpData) -> u32 {
+    f.regs[o.r[0] as usize] = Value::Label(Label::from_index(o.r[1] as usize));
+    f.remaining -= 1;
+    o.t[0]
+}
+
+/// Generic `op` with a register / immediate / label rhs, operator in
+/// `op_a` (the rarely-used operators; the hot five get stamped
+/// specialisations below).
+macro_rules! op_single {
+    ($name:ident, $k:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = rhs_val!($k, f, o, 1);
+            let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            f.remaining -= 1;
+            o.t[0]
+        }
+    };
+}
+op_single!(h_op_r, r);
+op_single!(h_op_i, i);
+op_single!(h_op_l, l);
+
+/// Stamps a specialised single-op handler pair (register rhs, immediate
+/// rhs) with the operator baked into the code, not fetched from the
+/// payload.
+macro_rules! alu_single {
+    ($name_r:ident, $name_i:ident, $op:ident, $a:ident, $b:ident, $v:expr) => {
+        pub(crate) fn $name_r(f: &mut Frame, o: &OpData) -> u32 {
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = tryf!(f, 1, rget(f.regs, o.r[2]));
+            let v = match (l, r) {
+                (Value::Int($a), Value::Int($b)) => Value::Int($v),
+                _ => tryf!(f, 1, eval_binop(BinOp::$op, l, r)),
+            };
+            f.regs[o.r[0] as usize] = v;
+            f.remaining -= 1;
+            o.t[0]
+        }
+        pub(crate) fn $name_i(f: &mut Frame, o: &OpData) -> u32 {
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let v = match l {
+                Value::Int($a) => {
+                    let $b = o.imm;
+                    Value::Int($v)
+                }
+                _ => tryf!(f, 1, eval_binop(BinOp::$op, l, Value::Int(o.imm))),
+            };
+            f.regs[o.r[0] as usize] = v;
+            f.remaining -= 1;
+            o.t[0]
+        }
+    };
+}
+alu_single!(h_add_r, h_add_i, Add, a, b, a.wrapping_add(b));
+alu_single!(h_sub_r, h_sub_i, Sub, a, b, a.wrapping_sub(b));
+alu_single!(h_mul_r, h_mul_i, Mul, a, b, a.wrapping_mul(b));
+alu_single!(h_lt_r, h_lt_i, Lt, a, b, if a < b { 0 } else { 1 });
+alu_single!(h_le_r, h_le_i, Le, a, b, if a <= b { 0 } else { 1 });
+
+pub(crate) fn h_jump(f: &mut Frame, o: &OpData) -> u32 {
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_jump_reg(f: &mut Frame, o: &OpData) -> u32 {
+    let v = tryf!(f, 1, rget(f.regs, o.r[0]));
+    match v {
+        Value::Label(l) => {
+            f.remaining -= 1;
+            f.block_entry[l.index()]
+        }
+        other => fail!(f, 1, MachineError::JumpToNonLabel { got: other.kind() }),
+    }
+}
+
+pub(crate) fn h_jump_bad(f: &mut Frame, _o: &OpData) -> u32 {
+    fail!(f, 1, MachineError::JumpToNonLabel { got: "int" })
+}
+
+pub(crate) fn h_if_jump(f: &mut Frame, o: &OpData) -> u32 {
+    let c = tryf!(f, 1, rget(f.regs, o.r[0]));
+    f.remaining -= 1;
+    if c.is_true() {
+        o.t[0]
+    } else {
+        o.t[1]
+    }
+}
+
+pub(crate) fn h_if_jump_reg(f: &mut Frame, o: &OpData) -> u32 {
+    let c = tryf!(f, 1, rget(f.regs, o.r[0]));
+    if c.is_true() {
+        let v = tryf!(f, 1, rget(f.regs, o.r[1]));
+        match v {
+            Value::Label(l) => {
+                f.remaining -= 1;
+                f.block_entry[l.index()]
+            }
+            other => fail!(f, 1, MachineError::JumpToNonLabel { got: other.kind() }),
+        }
+    } else {
+        f.remaining -= 1;
+        o.t[0]
+    }
+}
+
+pub(crate) fn h_if_jump_bad(f: &mut Frame, o: &OpData) -> u32 {
+    let c = tryf!(f, 1, rget(f.regs, o.r[0]));
+    if c.is_true() {
+        fail!(f, 1, MachineError::JumpToNonLabel { got: "int" });
+    }
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_salloc(f: &mut Frame, o: &OpData) -> u32 {
+    let cur = tryf!(f, 1, rget_stack(f.regs, o.r[0]));
+    let new = tryf!(f, 1, f.stacks.salloc(cur, o.r[1]));
+    f.regs[o.r[0] as usize] = Value::Stack(new);
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_sfree(f: &mut Frame, o: &OpData) -> u32 {
+    let cur = tryf!(f, 1, rget_stack(f.regs, o.r[0]));
+    let new = tryf!(f, 1, f.stacks.sfree(cur, o.r[1]));
+    f.regs[o.r[0] as usize] = Value::Stack(new);
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_load(f: &mut Frame, o: &OpData) -> u32 {
+    let sp = tryf!(f, 1, rget_stack(f.regs, o.r[1]));
+    let v = tryf!(f, 1, f.stacks.load(sp, o.r[2]));
+    f.regs[o.r[0] as usize] = v;
+    f.remaining -= 1;
+    o.t[0]
+}
+
+/// Stack store with a register / immediate / label source. Slots:
+/// `r[0]` base, `r[1]` offset, `r[2]` source register or label index.
+macro_rules! store_single {
+    ($name:ident, $k:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            let sp = tryf!(f, 1, rget_stack(f.regs, o.r[0]));
+            let v = rhs_val!($k, f, o, 1);
+            tryf!(f, 1, f.stacks.store(sp, o.r[1], v));
+            f.remaining -= 1;
+            o.t[0]
+        }
+    };
+}
+store_single!(h_store_r, r);
+store_single!(h_store_i, i);
+store_single!(h_store_l, l);
+
+pub(crate) fn h_prm_push(f: &mut Frame, o: &OpData) -> u32 {
+    let sp = tryf!(f, 1, rget_stack(f.regs, o.r[0]));
+    tryf!(f, 1, f.stacks.prmpush(sp, o.r[1]));
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_prm_pop(f: &mut Frame, o: &OpData) -> u32 {
+    let sp = tryf!(f, 1, rget_stack(f.regs, o.r[0]));
+    tryf!(f, 1, f.stacks.prmpop(sp, o.r[1]));
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_prm_empty(f: &mut Frame, o: &OpData) -> u32 {
+    let spv = tryf!(f, 1, rget_stack(f.regs, o.r[1]));
+    let v = tryf!(f, 1, f.stacks.prmempty(spv));
+    f.regs[o.r[0] as usize] = v;
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_prm_split(f: &mut Frame, o: &OpData) -> u32 {
+    let spv = tryf!(f, 1, rget_stack(f.regs, o.r[0]));
+    let off = tryf!(f, 1, f.stacks.prmsplit(spv));
+    f.regs[o.r[1] as usize] = Value::Int(off);
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_hload_r(f: &mut Frame, o: &OpData) -> u32 {
+    let b = tryf!(f, 1, rget(f.regs, o.r[1]).and_then(Value::as_int));
+    let off = tryf!(f, 1, rget(f.regs, o.r[2]).and_then(Value::as_int));
+    let v = tryf!(f, 1, Heap::load_in(f.hwords, b, off));
+    f.regs[o.r[0] as usize] = Value::Int(v);
+    f.remaining -= 1;
+    o.t[0]
+}
+
+pub(crate) fn h_hload_i(f: &mut Frame, o: &OpData) -> u32 {
+    let b = tryf!(f, 1, rget(f.regs, o.r[1]).and_then(Value::as_int));
+    let v = tryf!(f, 1, Heap::load_in(f.hwords, b, o.imm));
+    f.regs[o.r[0] as usize] = Value::Int(v);
+    f.remaining -= 1;
+    o.t[0]
+}
+
+/// `hload` whose offset is a label literal: evaluates the base first
+/// (matching the reference order), then faults.
+pub(crate) fn h_hload_bad(f: &mut Frame, o: &OpData) -> u32 {
+    tryf!(f, 1, rget(f.regs, o.r[1]).and_then(Value::as_int));
+    fail!(
+        f,
+        1,
+        MachineError::TypeError {
+            expected: "int",
+            got: "label",
+        }
+    )
+}
+
+/// Heap store fast paths, named by (offset kind, source kind): offset in
+/// `r[1]`/`imm`, source in `r[2]`/`imm2`, base in `r[0]`.
+macro_rules! hstore_fast {
+    ($name:ident, $off:expr, $src:expr) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            let b = tryf!(f, 1, rget(f.regs, o.r[0]).and_then(Value::as_int));
+            let offf: fn(&mut Frame, &OpData) -> Result<i64, MachineError> = $off;
+            let srcf: fn(&mut Frame, &OpData) -> Result<i64, MachineError> = $src;
+            let off = tryf!(f, 1, offf(f, o));
+            let v = tryf!(f, 1, srcf(f, o));
+            tryf!(f, 1, Heap::store_in(f.hwords, b, off, v));
+            f.remaining -= 1;
+            o.t[0]
+        }
+    };
+}
+hstore_fast!(
+    h_hstore_rr,
+    |f, o| rget(f.regs, o.r[1]).and_then(Value::as_int),
+    |f, o| rget(f.regs, o.r[2]).and_then(Value::as_int)
+);
+hstore_fast!(
+    h_hstore_ri,
+    |f, o| rget(f.regs, o.r[1]).and_then(Value::as_int),
+    |_f, o| Ok(o.imm2)
+);
+hstore_fast!(h_hstore_ir, |_f, o| Ok(o.imm), |f, o| rget(f.regs, o.r[2])
+    .and_then(Value::as_int));
+hstore_fast!(h_hstore_ii, |_f, o| Ok(o.imm), |_f, o| Ok(o.imm2));
+
+/// Heap store slow path for label-literal operands: kind codes in
+/// `r[4]` (offset) and `r[5]` (source): 0 register, 1 immediate, 2 bad
+/// label literal. Evaluation order matches the reference: base, offset,
+/// source, store.
+pub(crate) fn h_hstore_slow(f: &mut Frame, o: &OpData) -> u32 {
+    let b = tryf!(f, 1, rget(f.regs, o.r[0]).and_then(Value::as_int));
+    let off = match o.r[4] {
+        0 => tryf!(f, 1, rget(f.regs, o.r[1]).and_then(Value::as_int)),
+        1 => o.imm,
+        _ => fail!(
+            f,
+            1,
+            MachineError::TypeError {
+                expected: "int",
+                got: "label",
+            }
+        ),
+    };
+    let v = match o.r[5] {
+        0 => tryf!(f, 1, rget(f.regs, o.r[2]).and_then(Value::as_int)),
+        1 => o.imm2,
+        _ => fail!(
+            f,
+            1,
+            MachineError::TypeError {
+                expected: "int",
+                got: "label",
+            }
+        ),
+    };
+    tryf!(f, 1, Heap::store_in(f.hwords, b, off, v));
+    f.remaining -= 1;
+    o.t[0]
+}
+
+// ---------------------------------------------------------------------
+// Fused shapes inherited from the decoded tier. Multi-step handlers
+// check the budget *first* and return X_SPLIT untouched if it cannot
+// cover them, exactly like the decoded `split!`.
+// ---------------------------------------------------------------------
+
+/// Fused compare + branch (2 steps): cmp `r[0] := r[1] op_a rhs`, taken
+/// to `t[0]`, fall-through to `t[1]`.
+macro_rules! cb_h {
+    ($name:ident, $k:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            if f.remaining < 2 {
+                return X_SPLIT;
+            }
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = rhs_val!($k, f, o, 1);
+            let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            f.remaining -= 2;
+            if v.is_true() {
+                o.t[0]
+            } else {
+                o.t[1]
+            }
+        }
+    };
+}
+cb_h!(h_cb_r, r);
+cb_h!(h_cb_i, i);
+cb_h!(h_cb_l, l);
+
+/// Fused loop-head block (cmp + branch + jump): 2 steps taken, 3 on the
+/// fall-through exit.
+macro_rules! cbb_h {
+    ($name:ident, $k:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            if f.remaining < 3 {
+                return X_SPLIT;
+            }
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = rhs_val!($k, f, o, 1);
+            let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            if v.is_true() {
+                f.remaining -= 2;
+                o.t[0]
+            } else {
+                f.remaining -= 3;
+                o.t[1]
+            }
+        }
+    };
+}
+cbb_h!(h_cbb_r, r);
+cbb_h!(h_cbb_i, i);
+cbb_h!(h_cbb_l, l);
+
+/// Fused op + jump loop tail (2 steps).
+macro_rules! oj_h {
+    ($name:ident, $k:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            if f.remaining < 2 {
+                return X_SPLIT;
+            }
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = rhs_val!($k, f, o, 1);
+            let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            f.remaining -= 2;
+            o.t[0]
+        }
+    };
+}
+oj_h!(h_oj_r, r);
+oj_h!(h_oj_i, i);
+oj_h!(h_oj_l, l);
+
+/// Fused back-edge triple: step `r[3] := r[4] op_b imm2`, then cmp
+/// `r[0] := r[1] op_a rhs`, then branch (3 steps).
+macro_rules! scb_h {
+    ($name:ident, $k:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            if f.remaining < 3 {
+                return X_SPLIT;
+            }
+            let sl = tryf!(f, 1, rget(f.regs, o.r[4]));
+            let sv = tryf!(f, 1, alu_fast(o.op_b, sl, Value::Int(o.imm2)));
+            f.regs[o.r[3] as usize] = sv;
+            let l = tryf!(f, 2, rget(f.regs, o.r[1]));
+            let r = rhs_val!($k, f, o, 2);
+            let v = tryf!(f, 2, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            f.remaining -= 3;
+            if v.is_true() {
+                o.t[0]
+            } else {
+                o.t[1]
+            }
+        }
+    };
+}
+scb_h!(h_scb_r, r);
+scb_h!(h_scb_i, i);
+scb_h!(h_scb_l, l);
+
+pub(crate) fn h_boundary(_f: &mut Frame, _o: &OpData) -> u32 {
+    X_BOUNDARY
+}
+
+pub(crate) fn h_prppt(_f: &mut Frame, _o: &OpData) -> u32 {
+    X_PRPPT
+}
+
+// ---------------------------------------------------------------------
+// Threaded-only merged shapes. These pair or triple adjacent plain
+// micro-ops of one block into a single dispatch. Merging is safe for
+// control flow because only block entries are jump targets; it is safe
+// for quanta because a merged handler splits back to stepwise execution
+// exactly like a decoded fused op.
+// ---------------------------------------------------------------------
+
+/// A merged shape's second-op rhs: register slot `r[5]` or `imm2`.
+macro_rules! rhs2_val {
+    (r, $f:expr, $o:expr, $parts:expr) => {
+        tryf!($f, $parts, rget($f.regs, $o.r[5]))
+    };
+    (i, $f:expr, $o:expr, $parts:expr) => {
+        Value::Int($o.imm2)
+    };
+}
+
+/// Two adjacent specialised ALU ops (2 steps): `r[0] := r[1] op_a
+/// (r[2]|imm)`, then `r[3] := r[4] op_b (r[5]|imm2)`.
+macro_rules! alu2_h {
+    ($name:ident, $ka:tt, $kb:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            if f.remaining < 2 {
+                return X_SPLIT;
+            }
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = rhs_val!($ka, f, o, 1);
+            let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            let l2 = tryf!(f, 2, rget(f.regs, o.r[4]));
+            let r2 = rhs2_val!($kb, f, o, 2);
+            let v2 = tryf!(f, 2, alu_fast(o.op_b, l2, r2));
+            f.regs[o.r[3] as usize] = v2;
+            f.remaining -= 2;
+            o.t[0]
+        }
+    };
+}
+alu2_h!(h_alu2_rr, r, r);
+alu2_h!(h_alu2_ri, r, i);
+alu2_h!(h_alu2_ir, i, r);
+alu2_h!(h_alu2_ii, i, i);
+
+/// A merged heap-load offset: register slot `r[2]` or `imm`.
+macro_rules! off_val {
+    (r, $f:expr, $o:expr, $parts:expr) => {
+        tryf!($f, $parts, rget($f.regs, $o.r[2]).and_then(Value::as_int))
+    };
+    (i, $f:expr, $o:expr, $parts:expr) => {
+        $o.imm
+    };
+}
+
+/// Heap load + specialised ALU op (2 steps): `r[0] := heap[r[1] +
+/// (r[2]|imm)]`, then `r[3] := r[4] op_b (r[5]|imm2)`.
+macro_rules! hlop_h {
+    ($name:ident, $ka:tt, $kb:tt) => {
+        pub(crate) fn $name(f: &mut Frame, o: &OpData) -> u32 {
+            if f.remaining < 2 {
+                return X_SPLIT;
+            }
+            let b = tryf!(f, 1, rget(f.regs, o.r[1]).and_then(Value::as_int));
+            let off = off_val!($ka, f, o, 1);
+            let w = tryf!(f, 1, Heap::load_in(f.hwords, b, off));
+            f.regs[o.r[0] as usize] = Value::Int(w);
+            let l2 = tryf!(f, 2, rget(f.regs, o.r[4]));
+            let r2 = rhs2_val!($kb, f, o, 2);
+            let v2 = tryf!(f, 2, alu_fast(o.op_b, l2, r2));
+            f.regs[o.r[3] as usize] = v2;
+            f.remaining -= 2;
+            o.t[0]
+        }
+    };
+}
+hlop_h!(h_hlop_rr, r, r);
+hlop_h!(h_hlop_ri, r, i);
+hlop_h!(h_hlop_ir, i, r);
+hlop_h!(h_hlop_ii, i, i);
+
+/// Two adjacent heap loads with register offsets (2 steps).
+pub(crate) fn h_hl2(f: &mut Frame, o: &OpData) -> u32 {
+    if f.remaining < 2 {
+        return X_SPLIT;
+    }
+    let b = tryf!(f, 1, rget(f.regs, o.r[1]).and_then(Value::as_int));
+    let off = tryf!(f, 1, rget(f.regs, o.r[2]).and_then(Value::as_int));
+    let w = tryf!(f, 1, Heap::load_in(f.hwords, b, off));
+    f.regs[o.r[0] as usize] = Value::Int(w);
+    let b2 = tryf!(f, 2, rget(f.regs, o.r[4]).and_then(Value::as_int));
+    let off2 = tryf!(f, 2, rget(f.regs, o.r[5]).and_then(Value::as_int));
+    let w2 = tryf!(f, 2, Heap::load_in(f.hwords, b2, off2));
+    f.regs[o.r[3] as usize] = Value::Int(w2);
+    f.remaining -= 2;
+    o.t[0]
+}
+
+/// Two specialised ALU ops feeding a heap load whose offset register is
+/// the second op's destination (3 steps) — the address-computation
+/// prologue of array indexing: `r[0] := r[1] op_a r[2]`, `r[3] := r[4]
+/// op_b r[5]`, `r[6] := heap[r[7] + r[3]]`.
+pub(crate) fn h_op2_hload(f: &mut Frame, o: &OpData) -> u32 {
+    if f.remaining < 3 {
+        return X_SPLIT;
+    }
+    let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+    let r = tryf!(f, 1, rget(f.regs, o.r[2]));
+    let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+    f.regs[o.r[0] as usize] = v;
+    let l2 = tryf!(f, 2, rget(f.regs, o.r[4]));
+    let r2 = tryf!(f, 2, rget(f.regs, o.r[5]));
+    let v2 = tryf!(f, 2, alu_fast(o.op_b, l2, r2));
+    f.regs[o.r[3] as usize] = v2;
+    let b = tryf!(f, 3, rget(f.regs, o.r[7]).and_then(Value::as_int));
+    let off = tryf!(f, 3, rget(f.regs, o.r[3]).and_then(Value::as_int));
+    let w = tryf!(f, 3, Heap::load_in(f.hwords, b, off));
+    f.regs[o.r[6] as usize] = Value::Int(w);
+    f.remaining -= 3;
+    o.t[0]
+}
+
+/// Two specialised ALU ops feeding a heap store whose offset register is
+/// the second op's destination (3 steps): `r[0] := r[1] op_a r[2]`,
+/// `r[3] := r[4] op_b r[5]`, `heap[r[6] + r[3]] := r[7]`.
+pub(crate) fn h_op2_hstore(f: &mut Frame, o: &OpData) -> u32 {
+    if f.remaining < 3 {
+        return X_SPLIT;
+    }
+    let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+    let r = tryf!(f, 1, rget(f.regs, o.r[2]));
+    let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+    f.regs[o.r[0] as usize] = v;
+    let l2 = tryf!(f, 2, rget(f.regs, o.r[4]));
+    let r2 = tryf!(f, 2, rget(f.regs, o.r[5]));
+    let v2 = tryf!(f, 2, alu_fast(o.op_b, l2, r2));
+    f.regs[o.r[3] as usize] = v2;
+    let b = tryf!(f, 3, rget(f.regs, o.r[6]).and_then(Value::as_int));
+    let off = tryf!(f, 3, rget(f.regs, o.r[3]).and_then(Value::as_int));
+    let sv = tryf!(f, 3, rget(f.regs, o.r[7]).and_then(Value::as_int));
+    tryf!(f, 3, Heap::store_in(f.hwords, b, off, sv));
+    f.remaining -= 3;
+    o.t[0]
+}
+
+/// The whole-loop template for the canonical reduce shape: a
+/// loop-head `CmpBranchBranch` whose body block is exactly a heap load,
+/// an accumulate into a loop-carried register, and an op+jump back edge.
+/// One dispatch runs as many full 6-step iterations as the budget
+/// allows; every bail-out path (quantum, split, exit, fault) reproduces
+/// the positions, step counts, and errors the per-span handlers would
+/// have produced.
+///
+/// Payload: head cmp `r[0] := r[1] op_a r[2]`; body load `r[3] :=
+/// heap[r[4] + r[5]]`; accumulate `r[6] := r[6] op_b r[3]`; back edge
+/// `r[7] := r[7] op_c imm`. Jump slots: `t[0]` body entry pc, `t[1]`
+/// loop exit pc, `t[2]` this pc.
+pub(crate) fn h_reduce_loop(f: &mut Frame, o: &OpData) -> u32 {
+    loop {
+        if f.remaining < 6 {
+            if f.remaining == 0 {
+                // Quantum lands exactly at the loop head: hand the pc
+                // back so the driver pauses there, as decoded dispatch
+                // would at its `remaining == 0` check.
+                return o.t[2];
+            }
+            if f.remaining < 3 {
+                return X_SPLIT;
+            }
+            // Budget covers the head but maybe not the body: run the
+            // head as a plain CmpBranchBranch and let the body spans'
+            // own handlers (and their split logic) take over.
+            let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+            let r = tryf!(f, 1, rget(f.regs, o.r[2]));
+            let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+            f.regs[o.r[0] as usize] = v;
+            return if v.is_true() {
+                f.remaining -= 2;
+                o.t[0]
+            } else {
+                f.remaining -= 3;
+                o.t[1]
+            };
+        }
+        // Head compare: 2 steps when taken, 3 on exit.
+        let l = tryf!(f, 1, rget(f.regs, o.r[1]));
+        let r = tryf!(f, 1, rget(f.regs, o.r[2]));
+        let v = tryf!(f, 1, alu_fast(o.op_a, l, r));
+        f.regs[o.r[0] as usize] = v;
+        if !v.is_true() {
+            f.remaining -= 3;
+            return o.t[1];
+        }
+        f.remaining -= 2;
+        // Body: heap load (1 step) + accumulate (1 step), attributed to
+        // the body-entry span on fault. The accumulate's rhs register is
+        // the load destination, so the loaded word is used directly —
+        // the same value a register read would observe.
+        let body = o.t[0];
+        let b = tryf_at!(f, body, 1, rget(f.regs, o.r[4]).and_then(Value::as_int));
+        let off = tryf_at!(f, body, 1, rget(f.regs, o.r[5]).and_then(Value::as_int));
+        let w = tryf_at!(f, body, 1, Heap::load_in(f.hwords, b, off));
+        f.regs[o.r[3] as usize] = Value::Int(w);
+        let acc = tryf_at!(f, body, 2, rget(f.regs, o.r[6]));
+        let v2 = tryf_at!(f, body, 2, alu_fast(o.op_b, acc, Value::Int(w)));
+        f.regs[o.r[6] as usize] = v2;
+        f.remaining -= 2;
+        // Back edge op + jump (2 steps), attributed to the next span.
+        let jl = tryf_at!(f, body + 1, 1, rget(f.regs, o.r[7]));
+        let jv = tryf_at!(f, body + 1, 1, alu_fast(o.op_c, jl, Value::Int(o.imm)));
+        f.regs[o.r[7] as usize] = jv;
+        f.remaining -= 2;
+    }
+}
+
+/// The five specialised operators on raw `i64`s — identical results to
+/// [`alu_fast`] on two `Int`s (wrapping arithmetic, zero-is-true
+/// comparisons), and total: no operand can make them fault. The fast
+/// loop paths below lean on that totality to pre-validate whole
+/// iterations.
+#[inline(always)]
+fn alu_i64(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Lt => {
+            if a < b {
+                0
+            } else {
+                1
+            }
+        }
+        // Only the five specialised operators reach the templates.
+        _ => {
+            if a <= b {
+                0
+            } else {
+                1
+            }
+        }
+    }
+}
+
+/// Bulk fast path over [`h_reduce_loop`], installed by the compiler only
+/// when the payload is statically eligible: `op_a ∈ {Lt, Le}`, `op_b ∈
+/// {Add, Sub, Mul}`, back edge `i := i + 1` whose register is also the
+/// compare lhs and the load offset (`r[1] == r[5] == r[7]`), and the six
+/// registers `{t, i, n, w, base, acc}` pairwise distinct.
+///
+/// Under those conditions the loop-carried state is exactly `(i, acc)`
+/// plus the per-iteration `t := true` and `w := heap[base + i]`, so the
+/// handler computes the number of whole 6-step iterations the budget,
+/// the trip count, and the in-bounds heap prefix jointly allow, folds
+/// that heap slice in a tight scalar loop, and writes the four registers
+/// back once. Every committed iteration is one the per-step path would
+/// have executed identically (compare true, load in bounds, total ALU
+/// ops), and everything else — exit, quantum, split, any fault — is
+/// delegated to [`h_reduce_loop`] untouched.
+pub(crate) fn h_reduce_loop_fast(f: &mut Frame, o: &OpData) -> u32 {
+    if let (Value::Int(iv), Value::Int(nv), Value::Int(bv), Value::Int(accv)) = (
+        f.regs[o.r[1] as usize],
+        f.regs[o.r[2] as usize],
+        f.regs[o.r[4] as usize],
+        f.regs[o.r[6] as usize],
+    ) {
+        // Trip count and in-bounds prefix in i128: no overflow traps.
+        let trip = (nv as i128) - (iv as i128) + (o.op_a == BinOp::Le) as i128;
+        let start = (bv as i128) + (iv as i128);
+        let avail = if start < 1 {
+            0
+        } else {
+            (f.hwords.len() as i128) - start
+        };
+        let budget = (f.remaining / 6) as i128;
+        let iters = trip.min(avail).min(budget).max(0) as usize;
+        if iters > 0 {
+            let s = start as usize;
+            let slice = &f.hwords[s..s + iters];
+            let mut acc = accv;
+            match o.op_b {
+                BinOp::Add => {
+                    for &w in slice {
+                        acc = acc.wrapping_add(w);
+                    }
+                }
+                BinOp::Sub => {
+                    for &w in slice {
+                        acc = acc.wrapping_sub(w);
+                    }
+                }
+                _ => {
+                    for &w in slice {
+                        acc = acc.wrapping_mul(w);
+                    }
+                }
+            }
+            // Committed-iteration register state, in program order:
+            // head compare true, last loaded word, accumulator, index.
+            f.regs[o.r[0] as usize] = Value::Int(0);
+            f.regs[o.r[3] as usize] = Value::Int(slice[iters - 1]);
+            f.regs[o.r[6] as usize] = Value::Int(acc);
+            f.regs[o.r[1] as usize] = Value::Int(iv.wrapping_add(iters as i64));
+            f.remaining -= 6 * iters as u64;
+        }
+    }
+    h_reduce_loop(f, o)
+}
+
+/// The side-table payload of one guarded-update loop (the Floyd–Warshall
+/// inner-loop shape): too many register roles for a 64-byte [`OpData`],
+/// so the head span's `imm2` indexes into [`Frame::guarded`] instead.
+///
+/// The shape, with `j` the loop counter and every named non-temp
+/// register loop-invariant:
+///
+/// ```text
+/// head:  t := j cmp n;            if true -> body else -> exit
+/// body:  x1 := la1 op1 ra1;  x2 := x1 op2 j;   a := heap[hb + x2]
+///        cand := lc opc a;   x3 := ld opd rd;  x4 := x3 ope j
+///        bb := heap[hb2 + x4]
+///        c := cand cmp2 bb;       if true -> then else -> endif
+/// then:  y1 := lt1 opf rt1;  y2 := y1 opg j;   heap[hb3 + y2] := cand
+/// endif: j := j + 1; jump head
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GuardedLoop {
+    pub(crate) x1: u32,
+    pub(crate) la1: u32,
+    pub(crate) ra1: u32,
+    pub(crate) op1: BinOp,
+    pub(crate) x2: u32,
+    pub(crate) op2: BinOp,
+    pub(crate) a: u32,
+    pub(crate) hb: u32,
+    pub(crate) cand: u32,
+    pub(crate) lc: u32,
+    pub(crate) opc: BinOp,
+    pub(crate) x3: u32,
+    pub(crate) ld: u32,
+    pub(crate) rd: u32,
+    pub(crate) opd: BinOp,
+    pub(crate) x4: u32,
+    pub(crate) ope: BinOp,
+    pub(crate) bb: u32,
+    pub(crate) hb2: u32,
+    pub(crate) c: u32,
+    pub(crate) cmp2: BinOp,
+    pub(crate) y1: u32,
+    pub(crate) lt1: u32,
+    pub(crate) rt1: u32,
+    pub(crate) opf: BinOp,
+    pub(crate) y2: u32,
+    pub(crate) opg: BinOp,
+    pub(crate) hb3: u32,
+}
+
+/// Steps one guarded-update iteration costs when the inner branch is
+/// taken (head 2, address/load 5, compare/load 2, branch 2, store 4,
+/// back edge 2) and when it falls through (store block replaced by one
+/// jump).
+const GUARDED_TAKEN: u64 = 17;
+const GUARDED_NOT_TAKEN: u64 = 15;
+
+/// Whole-loop template for the guarded-update shape. The head span's
+/// [`OpData`] carries the plain `CmpBranchBranch` payload (so the slow
+/// path *is* [`h_cbb_r`]); `imm2` indexes the [`GuardedLoop`] roles.
+///
+/// Each iteration is **pre-validated** — every operand an `Int`, both
+/// loads and the conditional store in bounds, the budget covering the
+/// iteration's exact step count — before any state is touched, and the
+/// five specialised operators are total on ints, so a committed
+/// iteration can neither fault nor pause. Register writes are then
+/// committed in program order (so arbitrary temp aliasing matches the
+/// per-step path) and the store lands immediately (so later loads
+/// observe it). Any disqualifier breaks to the plain head compare and
+/// the body spans' own handlers, which reproduce faults, splits, and
+/// pauses at exactly the reference positions.
+pub(crate) fn h_guarded_loop(f: &mut Frame, o: &OpData) -> u32 {
+    let g = f.guarded[o.imm2 as usize];
+    'fast: {
+        macro_rules! int_of {
+            ($i:expr) => {
+                match f.regs[$i as usize] {
+                    Value::Int(v) => v,
+                    _ => break 'fast,
+                }
+            };
+        }
+        // Loop-invariant registers (never written by the loop) and the
+        // counter; any non-int falls to the slow path, which types them.
+        let nv = int_of!(o.r[2]);
+        let mut jv = int_of!(o.r[1]);
+        let la1 = int_of!(g.la1);
+        let ra1 = int_of!(g.ra1);
+        let hb = int_of!(g.hb);
+        let lc = int_of!(g.lc);
+        let ld = int_of!(g.ld);
+        let rd = int_of!(g.rd);
+        let hb2 = int_of!(g.hb2);
+        let lt1 = int_of!(g.lt1);
+        let rt1 = int_of!(g.rt1);
+        let hb3 = int_of!(g.hb3);
+        let len = f.hwords.len() as i64;
+        loop {
+            if f.remaining < GUARDED_NOT_TAKEN || alu_i64(o.op_a, jv, nv) != 0 {
+                break;
+            }
+            // Dry pass: compute the whole iteration into locals.
+            let x1v = alu_i64(g.op1, la1, ra1);
+            let x2v = alu_i64(g.op2, x1v, jv);
+            let addr_a = hb.wrapping_add(x2v);
+            if addr_a <= 0 || addr_a >= len {
+                break;
+            }
+            let av = f.hwords[addr_a as usize];
+            let candv = alu_i64(g.opc, lc, av);
+            let x3v = alu_i64(g.opd, ld, rd);
+            let x4v = alu_i64(g.ope, x3v, jv);
+            let addr_b = hb2.wrapping_add(x4v);
+            if addr_b <= 0 || addr_b >= len {
+                break;
+            }
+            let bbv = f.hwords[addr_b as usize];
+            let cv = alu_i64(g.cmp2, candv, bbv);
+            let (cost, y1v, y2v, addr_s) = if cv == 0 {
+                let y1v = alu_i64(g.opf, lt1, rt1);
+                let y2v = alu_i64(g.opg, y1v, jv);
+                let addr_s = hb3.wrapping_add(y2v);
+                if addr_s <= 0 || addr_s >= len {
+                    break;
+                }
+                (GUARDED_TAKEN, y1v, y2v, addr_s)
+            } else {
+                (GUARDED_NOT_TAKEN, 0, 0, 0)
+            };
+            if f.remaining < cost {
+                break;
+            }
+            // Commit, in program order.
+            f.regs[o.r[0] as usize] = Value::Int(0);
+            f.regs[g.x1 as usize] = Value::Int(x1v);
+            f.regs[g.x2 as usize] = Value::Int(x2v);
+            f.regs[g.a as usize] = Value::Int(av);
+            f.regs[g.cand as usize] = Value::Int(candv);
+            f.regs[g.x3 as usize] = Value::Int(x3v);
+            f.regs[g.x4 as usize] = Value::Int(x4v);
+            f.regs[g.bb as usize] = Value::Int(bbv);
+            f.regs[g.c as usize] = Value::Int(cv);
+            if cv == 0 {
+                f.regs[g.y1 as usize] = Value::Int(y1v);
+                f.regs[g.y2 as usize] = Value::Int(y2v);
+                f.hwords[addr_s as usize] = candv;
+            }
+            jv = jv.wrapping_add(1);
+            f.regs[o.r[1] as usize] = Value::Int(jv);
+            f.remaining -= cost;
+        }
+    }
+    // Whatever the fast loop could not commit: pause at the head on an
+    // exhausted quantum, else run the head as a plain CmpBranchBranch
+    // and let the body spans' own handlers take over.
+    if f.remaining == 0 {
+        return o.t[2];
+    }
+    h_cbb_r(f, o)
+}

@@ -1,0 +1,1337 @@
+//! Threaded-code execution tier: direct-dispatch compilation of the
+//! decoded micro-op stream.
+//!
+//! [`DecodedProgram`] (the second tier) already pays decode costs once,
+//! but its execute loop still funnels every micro-op through one
+//! centralized `match` — a single indirect branch whose per-opcode
+//! pattern the predictor must re-learn at every step, plus per-step
+//! operand field extraction. [`ThreadedProgram::compile`] lowers each
+//! decoded micro-op into a *pre-bound handler*: an array of
+//! `fn(&mut Frame, &OpData) -> u32` function pointers paired with a
+//! fixed-layout operand record in which register slots, jump targets,
+//! operators, and immediates are all resolved at compile time. The
+//! execute loop is then
+//!
+//! ```text
+//! pc = handlers[pc](&mut frame, &ops[pc])
+//! ```
+//!
+//! — one indirect call, no opcode decode, no operand indexing. (Stable
+//! Rust has no computed goto and no guaranteed tail calls, so classic
+//! direct threading — jumping handler-to-handler — is not expressible;
+//! the fn-pointer array with a tight trampoline loop is the closest
+//! sound encoding, and keeps every handler a real function the
+//! optimizer specializes independently.)
+//!
+//! On top of the decoded tier's fused superinstructions (which keep
+//! their specialized handlers), compilation re-segments each block to
+//! merge adjacent plain micro-ops into wider dispatches — ALU pairs,
+//! heap-load + ALU, double heap loads, and the two-ops-then-heap-access
+//! address-computation triples — and recognizes the canonical reduce
+//! loop (loop-head compare + load/accumulate/step body) as a single
+//! whole-loop template handler that runs iterations back-to-back
+//! without leaving the handler. Merging is sound because validated
+//! programs only ever jump to block entries, so span interiors are
+//! unreachable as dispatch points.
+//!
+//! **Equivalence obligations.** The tier preserves the reference
+//! interpreter's observable semantics bit-for-bit: the same pause
+//! priority (quantum, then promotion watch, then boundary), the same
+//! step counting (a merged handler counts one step per covered source
+//! instruction, and a quantum that lands inside one falls back to
+//! stepwise execution at exactly the reference split point), the same
+//! faults with the same partially-advanced task positions, and the
+//! same batched cycle/work/span/cost accounting. The `engine_equivalence`
+//! and `decoded_prop`/`threaded_quantum` differential suites hold all
+//! three tiers to identical outcomes.
+
+use crate::decoded::{DecodedProgram, IntSrc, Src, UOp, UopSource, MID};
+use crate::isa::{BinOp, Label, Reg};
+use crate::machine::step::{exec_plain, RunPause, Stores, TaskState};
+use crate::machine::MachineError;
+use crate::program::Program;
+
+mod handlers;
+
+use handlers::*;
+pub(crate) use handlers::{Frame, Handler, OpData};
+
+/// The dispatch shape of one threaded span — introspection for tests
+/// and stats, never consulted on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Shape {
+    /// One plain micro-op.
+    Plain,
+    /// One decoded fused superinstruction (CmpBranch / CmpBranchBranch /
+    /// OpJump / StepCmpBranch).
+    Fused,
+    /// Two adjacent specialised ALU ops.
+    Alu2,
+    /// Heap load followed by a specialised ALU op.
+    HLoadOp,
+    /// Two adjacent heap loads with register offsets.
+    HLoad2,
+    /// Two ALU ops feeding a heap load through the second destination.
+    Op2HLoad,
+    /// Two ALU ops feeding a heap store through the second destination.
+    Op2HStore,
+    /// A whole-loop reduce template installed over a loop-head block.
+    ReduceLoop,
+    /// A whole-loop guarded-update template (the relaxation shape:
+    /// load, combine, compare, conditionally store) installed over a
+    /// loop-head block, with its wide payload in the side table.
+    GuardedLoop,
+    /// A scheduling/allocation boundary.
+    Boundary,
+}
+
+/// Whether `op` is one of the five specialised operators — total on
+/// integer operands, so loop templates can pre-validate iterations.
+fn is_specialised(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Lt | BinOp::Le
+    )
+}
+
+/// Whether the register ids are pairwise distinct (template
+/// eligibility: cached locals must not alias).
+fn all_distinct(rs: &[Reg]) -> bool {
+    rs.iter()
+        .enumerate()
+        .all(|(k, r)| rs[k + 1..].iter().all(|s| s != r))
+}
+
+/// Destructures the five specialised ALU micro-ops.
+fn alu_parts(u: UOp) -> Option<(Reg, Reg, Src, BinOp)> {
+    match u {
+        UOp::OpAdd { dst, lhs, rhs } => Some((dst, lhs, rhs, BinOp::Add)),
+        UOp::OpSub { dst, lhs, rhs } => Some((dst, lhs, rhs, BinOp::Sub)),
+        UOp::OpMul { dst, lhs, rhs } => Some((dst, lhs, rhs, BinOp::Mul)),
+        UOp::OpLt { dst, lhs, rhs } => Some((dst, lhs, rhs, BinOp::Lt)),
+        UOp::OpLe { dst, lhs, rhs } => Some((dst, lhs, rhs, BinOp::Le)),
+        _ => None,
+    }
+}
+
+/// How many decoded micro-ops starting at `i` (all within `[i, end)`,
+/// one block) merge into a single threaded span, and the span's shape.
+fn merge_at(d: &DecodedProgram, i: usize, end: usize) -> (usize, Shape) {
+    // Address-computation triples: two register-rhs ALU ops whose second
+    // destination indexes a heap access.
+    if i + 2 < end {
+        if let (Some((_, _, Src::Reg(_), _)), Some((d2, _, Src::Reg(_), _))) =
+            (alu_parts(d.uops[i]), alu_parts(d.uops[i + 1]))
+        {
+            match d.uops[i + 2] {
+                UOp::HLoad {
+                    offset: IntSrc::Reg(o),
+                    ..
+                } if o == d2 => return (3, Shape::Op2HLoad),
+                UOp::HStore {
+                    offset: IntSrc::Reg(o),
+                    src: IntSrc::Reg(_),
+                    ..
+                } if o == d2 => return (3, Shape::Op2HStore),
+                _ => {}
+            }
+        }
+    }
+    if i + 1 < end {
+        match (d.uops[i], d.uops[i + 1]) {
+            (UOp::HLoad { offset: o1, .. }, u2) if !matches!(o1, IntSrc::Bad(_)) => {
+                if let Some((_, _, rhs, _)) = alu_parts(u2) {
+                    if !matches!(rhs, Src::Label(_)) {
+                        return (2, Shape::HLoadOp);
+                    }
+                }
+                if let UOp::HLoad {
+                    offset: IntSrc::Reg(_),
+                    ..
+                } = u2
+                {
+                    if matches!(o1, IntSrc::Reg(_)) {
+                        return (2, Shape::HLoad2);
+                    }
+                }
+            }
+            (u1, u2) => {
+                if let (Some((_, _, r1, _)), Some((_, _, r2, _))) = (alu_parts(u1), alu_parts(u2)) {
+                    if !matches!(r1, Src::Label(_)) && !matches!(r2, Src::Label(_)) {
+                        return (2, Shape::Alu2);
+                    }
+                }
+            }
+        }
+    }
+    let shape = match d.uops[i] {
+        UOp::CmpBranch { .. }
+        | UOp::CmpBranchBranch { .. }
+        | UOp::OpJump { .. }
+        | UOp::StepCmpBranch { .. } => Shape::Fused,
+        UOp::Boundary => Shape::Boundary,
+        _ => Shape::Plain,
+    };
+    (1, shape)
+}
+
+/// A [`Program`] compiled to directly dispatched handler arrays.
+///
+/// Owns its [`DecodedProgram`] (for the stepwise-fallback instruction
+/// stream and the shared side tables); compile once, share across cores
+/// and tasks. Construction is deterministic.
+#[derive(Clone)]
+pub struct ThreadedProgram {
+    /// The decoded form this was compiled from; supplies the flat
+    /// instruction stream for stepwise fallback and the per-block
+    /// metadata accessors.
+    base: DecodedProgram,
+    /// Plain-stream handler per threaded pc.
+    handlers: Vec<Handler>,
+    /// Watch-stream handlers: identical except `prppt` block entries
+    /// pause (and loop templates whose body is promotion-ready fall
+    /// back to their plain loop-head handler).
+    watch_handlers: Vec<Handler>,
+    /// Pre-bound operand payload per threaded pc.
+    ops: Vec<OpData>,
+    /// Source provenance per threaded pc.
+    src: Vec<UopSource>,
+    /// Per block: threaded pc of its entry.
+    block_entry: Vec<u32>,
+    /// Per flat instruction index: the threaded pc starting there, or
+    /// [`MID`] when interior to a merged/fused span.
+    pc_of: Vec<u32>,
+    /// `prppt` entry flag per threaded pc.
+    prppt_entry: Vec<bool>,
+    /// Dispatch shape per threaded pc (tests/stats only).
+    shapes: Vec<Shape>,
+    /// Guarded-update loop payloads, indexed by the head span's `imm2`.
+    guarded: Vec<GuardedLoop>,
+}
+
+impl std::fmt::Debug for ThreadedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedProgram")
+            .field("spans", &self.ops.len())
+            .field("shapes", &self.shapes)
+            .field("src", &self.src)
+            .field("block_entry", &self.block_entry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadedProgram {
+    /// Compiles a validated program: decode, re-segment each block into
+    /// merged spans, bind a handler + operand record per span, then
+    /// install whole-loop templates over recognized reduce loops.
+    pub fn compile(program: &Program) -> ThreadedProgram {
+        let d = DecodedProgram::decode(program);
+        let nblocks = d.block_entry.len();
+        let nuops = d.uops.len();
+
+        // Pass 1: re-segment every block into merged spans. `d2t` maps
+        // a decoded pc to the threaded pc of the span starting there
+        // (interior decoded pcs keep MID and are never jump targets).
+        let mut spans: Vec<(usize, usize, Shape)> = Vec::with_capacity(nuops);
+        let mut d2t = vec![MID; nuops];
+        let mut block_entry = Vec::with_capacity(nblocks);
+        for b in 0..nblocks {
+            let dstart = d.block_entry[b] as usize;
+            let dend = if b + 1 < nblocks {
+                d.block_entry[b + 1] as usize
+            } else {
+                nuops
+            };
+            block_entry.push(spans.len() as u32);
+            let mut i = dstart;
+            while i < dend {
+                let (m, shape) = merge_at(&d, i, dend);
+                d2t[i] = spans.len() as u32;
+                spans.push((i, m, shape));
+                i += m;
+            }
+        }
+        assert!(
+            spans.len() < X_QUANTUM as usize,
+            "program too large for threaded pc encoding"
+        );
+
+        // Pass 2: emit one handler + payload per span.
+        let mut handlers: Vec<Handler> = Vec::with_capacity(spans.len());
+        let mut ops = Vec::with_capacity(spans.len());
+        let mut src = Vec::with_capacity(spans.len());
+        let mut prppt_entry = Vec::with_capacity(spans.len());
+        let mut shapes = Vec::with_capacity(spans.len());
+        let mut pc_of = vec![MID; d.flat.len()];
+        let map = |t: u32| d2t[t as usize];
+        for (ti, &(i, m, shape)) in spans.iter().enumerate() {
+            let s0 = d.src[i];
+            let len: u32 = d.src[i..i + m].iter().map(|s| s.len).sum();
+            src.push(UopSource {
+                block: s0.block,
+                instr: s0.instr,
+                len,
+            });
+            pc_of[(d.instr_base[s0.block as usize] + s0.instr) as usize] = ti as u32;
+            prppt_entry.push(d.prppt_entry[i]);
+            shapes.push(shape);
+            let next = (ti + 1) as u32;
+            let (h, o) = match shape {
+                Shape::Plain | Shape::Fused | Shape::Boundary => emit_single(d.uops[i], next, &map),
+                Shape::Alu2 => {
+                    let (da, la, ra, opa) = alu_parts(d.uops[i]).expect("alu2 first");
+                    let (db, lb, rb, opb) = alu_parts(d.uops[i + 1]).expect("alu2 second");
+                    let mut o = OpData::new();
+                    o.t[0] = next;
+                    o.r[0] = da.index() as u32;
+                    o.r[1] = la.index() as u32;
+                    o.op_a = opa;
+                    o.r[3] = db.index() as u32;
+                    o.r[4] = lb.index() as u32;
+                    o.op_b = opb;
+                    let ka = match ra {
+                        Src::Reg(r) => {
+                            o.r[2] = r.index() as u32;
+                            true
+                        }
+                        Src::Int(n) => {
+                            o.imm = n;
+                            false
+                        }
+                        Src::Label(_) => unreachable!("label rhs never merges"),
+                    };
+                    let kb = match rb {
+                        Src::Reg(r) => {
+                            o.r[5] = r.index() as u32;
+                            true
+                        }
+                        Src::Int(n) => {
+                            o.imm2 = n;
+                            false
+                        }
+                        Src::Label(_) => unreachable!("label rhs never merges"),
+                    };
+                    let h: Handler = match (ka, kb) {
+                        (true, true) => h_alu2_rr,
+                        (true, false) => h_alu2_ri,
+                        (false, true) => h_alu2_ir,
+                        (false, false) => h_alu2_ii,
+                    };
+                    (h, o)
+                }
+                Shape::HLoadOp => {
+                    let UOp::HLoad { dst, base, offset } = d.uops[i] else {
+                        unreachable!("hload-op first");
+                    };
+                    let (db, lb, rb, opb) = alu_parts(d.uops[i + 1]).expect("hload-op second");
+                    let mut o = OpData::new();
+                    o.t[0] = next;
+                    o.r[0] = dst.index() as u32;
+                    o.r[1] = base.index() as u32;
+                    o.r[3] = db.index() as u32;
+                    o.r[4] = lb.index() as u32;
+                    o.op_b = opb;
+                    let ka = match offset {
+                        IntSrc::Reg(r) => {
+                            o.r[2] = r.index() as u32;
+                            true
+                        }
+                        IntSrc::Imm(n) => {
+                            o.imm = n;
+                            false
+                        }
+                        IntSrc::Bad(_) => unreachable!("bad offset never merges"),
+                    };
+                    let kb = match rb {
+                        Src::Reg(r) => {
+                            o.r[5] = r.index() as u32;
+                            true
+                        }
+                        Src::Int(n) => {
+                            o.imm2 = n;
+                            false
+                        }
+                        Src::Label(_) => unreachable!("label rhs never merges"),
+                    };
+                    let h: Handler = match (ka, kb) {
+                        (true, true) => h_hlop_rr,
+                        (true, false) => h_hlop_ri,
+                        (false, true) => h_hlop_ir,
+                        (false, false) => h_hlop_ii,
+                    };
+                    (h, o)
+                }
+                Shape::HLoad2 => {
+                    let (
+                        UOp::HLoad {
+                            dst: d1,
+                            base: b1,
+                            offset: IntSrc::Reg(o1),
+                        },
+                        UOp::HLoad {
+                            dst: d2,
+                            base: b2,
+                            offset: IntSrc::Reg(o2),
+                        },
+                    ) = (d.uops[i], d.uops[i + 1])
+                    else {
+                        unreachable!("hload pair");
+                    };
+                    let mut o = OpData::new();
+                    o.t[0] = next;
+                    o.r = [
+                        d1.index() as u32,
+                        b1.index() as u32,
+                        o1.index() as u32,
+                        d2.index() as u32,
+                        b2.index() as u32,
+                        o2.index() as u32,
+                        0,
+                        0,
+                    ];
+                    (h_hl2 as Handler, o)
+                }
+                Shape::Op2HLoad | Shape::Op2HStore => {
+                    let (da, la, ra, opa) = alu_parts(d.uops[i]).expect("op2 first");
+                    let (db, lb, rb, opb) = alu_parts(d.uops[i + 1]).expect("op2 second");
+                    let (Src::Reg(rra), Src::Reg(rrb)) = (ra, rb) else {
+                        unreachable!("op2 rhs are registers");
+                    };
+                    let mut o = OpData::new();
+                    o.t[0] = next;
+                    o.r[0] = da.index() as u32;
+                    o.r[1] = la.index() as u32;
+                    o.r[2] = rra.index() as u32;
+                    o.op_a = opa;
+                    o.r[3] = db.index() as u32;
+                    o.r[4] = lb.index() as u32;
+                    o.r[5] = rrb.index() as u32;
+                    o.op_b = opb;
+                    if shape == Shape::Op2HLoad {
+                        let UOp::HLoad { dst, base, .. } = d.uops[i + 2] else {
+                            unreachable!("op2-hload third");
+                        };
+                        o.r[6] = dst.index() as u32;
+                        o.r[7] = base.index() as u32;
+                        (h_op2_hload as Handler, o)
+                    } else {
+                        let UOp::HStore {
+                            base,
+                            src: IntSrc::Reg(sr),
+                            ..
+                        } = d.uops[i + 2]
+                        else {
+                            unreachable!("op2-hstore third");
+                        };
+                        o.r[6] = base.index() as u32;
+                        o.r[7] = sr.index() as u32;
+                        (h_op2_hstore as Handler, o)
+                    }
+                }
+                Shape::ReduceLoop | Shape::GuardedLoop => unreachable!("installed in pass 3"),
+            };
+            handlers.push(h);
+            ops.push(o);
+        }
+
+        // Pass 3: recognize whole loops and install templates over
+        // their head spans. Reduce loops get the 8-register OpData
+        // payload (and, when statically eligible, the bulk fast path);
+        // guarded-update loops are too wide for one OpData, so their
+        // roles go to the side table indexed through `imm2`.
+        let mut guarded: Vec<GuardedLoop> = Vec::new();
+        let mut guarded_prppt: Vec<bool> = Vec::new();
+        for ti in 0..spans.len() {
+            if let Some((o, fast)) = match_reduce(&d, &spans, &src, &map, ti) {
+                ops[ti] = o;
+                handlers[ti] = if fast {
+                    h_reduce_loop_fast
+                } else {
+                    h_reduce_loop
+                };
+                shapes[ti] = Shape::ReduceLoop;
+                continue;
+            }
+            if let Some((g, blocks)) = match_guarded(&d, &spans, &src, &map, ti) {
+                ops[ti].imm2 = guarded.len() as i64;
+                ops[ti].t[2] = ti as u32;
+                guarded_prppt.push(prppt_entry[ti] || blocks.iter().any(|&b| prppt_entry[b]));
+                guarded.push(g);
+                handlers[ti] = h_guarded_loop;
+                shapes[ti] = Shape::GuardedLoop;
+            }
+        }
+
+        // Watch stream: promotion-ready entries pause; a loop template
+        // any of whose loop blocks is promotion-ready must instead
+        // dispatch those spans (so the pause is observed at the right
+        // block entry), which its plain CmpBranchBranch head handler
+        // does with the same payload.
+        let mut watch_handlers = handlers.clone();
+        for pc in 0..watch_handlers.len() {
+            if prppt_entry[pc] {
+                watch_handlers[pc] = h_prppt;
+            } else if (shapes[pc] == Shape::ReduceLoop && prppt_entry[ops[pc].t[0] as usize])
+                || (shapes[pc] == Shape::GuardedLoop && guarded_prppt[ops[pc].imm2 as usize])
+            {
+                watch_handlers[pc] = h_cbb_r;
+            }
+        }
+
+        ThreadedProgram {
+            base: d,
+            handlers,
+            watch_handlers,
+            ops,
+            src,
+            block_entry,
+            pc_of,
+            prppt_entry,
+            shapes,
+            guarded,
+        }
+    }
+
+    /// Number of threaded spans (dispatch points).
+    pub fn span_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The decoded program this tier was compiled from.
+    pub fn decoded(&self) -> &DecodedProgram {
+        &self.base
+    }
+
+    /// Source provenance of span `pc`.
+    pub fn source(&self, pc: usize) -> UopSource {
+        self.src[pc]
+    }
+
+    /// Writes `task.block`/`task.instr` to the entry of span `pc`.
+    #[inline]
+    fn sync(&self, task: &mut TaskState, pc: usize) {
+        let s = self.src[pc];
+        task.block = Label::from_index(s.block as usize);
+        task.instr = s.instr as usize;
+    }
+
+    /// The flat instruction index of the task's current position.
+    #[inline]
+    fn flat_index(&self, task: &TaskState) -> usize {
+        self.base.instr_base[task.block.index()] as usize + task.instr
+    }
+
+    /// Executes a run of consecutive plain instructions of `task` via
+    /// direct dispatch, stopping early at scheduling-relevant points.
+    ///
+    /// Observably identical to [`crate::machine::run_task_until`] and
+    /// [`DecodedProgram::run_until`] — same `(steps, pause)` results,
+    /// same priority order, same faults at the same task positions, and
+    /// the same batched counter updates.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MachineError`] raised by a transition rule; counters
+    /// include the faulting instruction, matching the reference.
+    pub fn run_until(
+        &self,
+        task: &mut TaskState,
+        stores: &mut Stores,
+        max_steps: u64,
+        watch_promotion: bool,
+    ) -> Result<(u64, RunPause), MachineError> {
+        let mut steps = 0u64;
+        let result = if watch_promotion {
+            self.run_loop::<true>(task, stores, max_steps, &mut steps)
+        } else {
+            self.run_loop::<false>(task, stores, max_steps, &mut steps)
+        };
+        task.cycles += steps;
+        task.rel_work += steps;
+        task.rel_span += steps;
+        if let Some(c) = &mut task.cost {
+            c.steps += steps;
+        }
+        result.map(|pause| (steps, pause))
+    }
+
+    fn run_loop<const WATCH: bool>(
+        &self,
+        task: &mut TaskState,
+        stores: &mut Stores,
+        max_steps: u64,
+        steps: &mut u64,
+    ) -> Result<RunPause, MachineError> {
+        let handlers = if WATCH {
+            self.watch_handlers.as_slice()
+        } else {
+            self.handlers.as_slice()
+        };
+        loop {
+            // Stepwise phase: the task position is authoritative. Runs
+            // one source instruction at a time while the position is
+            // interior to a merged/fused span (a resume after a
+            // mid-span quantum split) and hands off to direct dispatch
+            // at the first span boundary.
+            let mut pc: usize = loop {
+                if *steps >= max_steps {
+                    return Ok(RunPause::Quantum);
+                }
+                let gi = self.flat_index(task);
+                let p = self.pc_of[gi];
+                if p != MID {
+                    break p as usize;
+                }
+                match exec_plain(task, stores, &self.base.flat[gi]) {
+                    Ok(true) => *steps += 1,
+                    Ok(false) => return Ok(RunPause::Boundary),
+                    Err(e) => {
+                        *steps += 1;
+                        return Err(e);
+                    }
+                }
+            };
+
+            // Dispatch phase: `pc` is authoritative; the task position
+            // is synced only on exit or fault. The working sets are
+            // borrowed once into the frame, and every step of the loop
+            // is one indirect call through the handler table.
+            let (exit, xpc, remaining, fparts, fpc, fault) = {
+                let mut frame = Frame {
+                    regs: task.regs.slice_mut(),
+                    stacks: &mut stores.stacks,
+                    hwords: stores.heap.words_mut(),
+                    block_entry: &self.block_entry,
+                    guarded: &self.guarded,
+                    remaining: max_steps - *steps,
+                    fault: None,
+                    fault_parts: 0,
+                    fault_pc: 0,
+                };
+                let exit = loop {
+                    if frame.remaining == 0 {
+                        break X_QUANTUM;
+                    }
+                    let next = handlers[pc](&mut frame, &self.ops[pc]);
+                    if next >= X_QUANTUM {
+                        break next;
+                    }
+                    pc = next as usize;
+                };
+                (
+                    exit,
+                    pc,
+                    frame.remaining,
+                    frame.fault_parts,
+                    frame.fault_pc,
+                    frame.fault,
+                )
+            };
+            match exit {
+                X_QUANTUM => {
+                    *steps = max_steps;
+                    self.sync(task, xpc);
+                    return Ok(RunPause::Quantum);
+                }
+                X_BOUNDARY => {
+                    *steps = max_steps - remaining;
+                    self.sync(task, xpc);
+                    return Ok(RunPause::Boundary);
+                }
+                X_PRPPT => {
+                    *steps = max_steps - remaining;
+                    self.sync(task, xpc);
+                    return Ok(RunPause::PromotionReady);
+                }
+                X_SPLIT => {
+                    // A multi-step span the budget cannot cover: honour
+                    // the quantum exactly by executing its constituents
+                    // stepwise, exactly like the decoded `split!`.
+                    *steps = max_steps - remaining;
+                    self.sync(task, xpc);
+                    let gi = self.flat_index(task);
+                    match exec_plain(task, stores, &self.base.flat[gi]) {
+                        Ok(true) => *steps += 1,
+                        Ok(false) => return Ok(RunPause::Boundary),
+                        Err(e) => {
+                            *steps += 1;
+                            return Err(e);
+                        }
+                    }
+                    // Back to the stepwise phase for the rest.
+                }
+                _ => {
+                    // X_FAULT / X_FAULT_AT: reconstruct the reference
+                    // position — the attributed span's source entry,
+                    // advanced past the constituents that completed
+                    // (the faulting one included).
+                    let apc = if exit == X_FAULT_AT {
+                        fpc as usize
+                    } else {
+                        xpc
+                    };
+                    let s = self.src[apc];
+                    task.block = Label::from_index(s.block as usize);
+                    task.instr = (s.instr + fparts) as usize;
+                    *steps = max_steps - remaining + fparts as u64;
+                    return Err(fault.expect("fault exit carries an error"));
+                }
+            }
+        }
+    }
+
+    /// Dispatch shape of span `pc` (tests/stats).
+    #[cfg(test)]
+    pub(crate) fn shape(&self, pc: usize) -> Shape {
+        self.shapes[pc]
+    }
+
+    /// Whether span `pc` starts a promotion-ready block: its watch-mode
+    /// handler pauses instead of executing.
+    pub fn is_prppt_entry(&self, pc: usize) -> bool {
+        self.prppt_entry[pc]
+    }
+}
+
+/// Recognizes the canonical reduce loop at head span `ti`: a loop-head
+/// `CmpBranchBranch` whose taken block is exactly [HLoadOp(load +
+/// accumulate-into-lhs), OpJump back to the head]. Returns the
+/// template's payload and whether the bulk fast path is statically
+/// eligible (`Lt`/`Le` head, `Add`/`Sub`/`Mul` accumulate, unit-step
+/// back edge on the compare-lhs register which is also the load offset,
+/// and non-aliasing loop registers).
+fn match_reduce(
+    d: &DecodedProgram,
+    spans: &[(usize, usize, Shape)],
+    src: &[UopSource],
+    map: &impl Fn(u32) -> u32,
+    ti: usize,
+) -> Option<(OpData, bool)> {
+    let (i, _, shape) = spans[ti];
+    if shape != Shape::Fused {
+        return None;
+    }
+    let UOp::CmpBranchBranch {
+        dst,
+        op,
+        lhs,
+        rhs: Src::Reg(rr),
+        taken,
+        fallthrough,
+    } = d.uops[i]
+    else {
+        return None;
+    };
+    let bt = map(taken) as usize;
+    if bt + 1 >= spans.len() || bt == ti {
+        return None;
+    }
+    let (bi, _, bshape) = spans[bt];
+    let (ji, _, jshape) = spans[bt + 1];
+    if bshape != Shape::HLoadOp || jshape != Shape::Fused {
+        return None;
+    }
+    let UOp::HLoad {
+        dst: w,
+        base,
+        offset: IntSrc::Reg(offr),
+    } = d.uops[bi]
+    else {
+        return None;
+    };
+    let (acc, acc_lhs, accrs, accop) = alu_parts(d.uops[bi + 1])?;
+    let Src::Reg(accr) = accrs else {
+        return None;
+    };
+    if acc != acc_lhs || accr != w {
+        return None;
+    }
+    let UOp::OpJump {
+        dst: j,
+        op: jop,
+        lhs: jl,
+        rhs: Src::Int(jimm),
+        target,
+    } = d.uops[ji]
+    else {
+        return None;
+    };
+    if j != jl || map(target) as usize != ti {
+        return None;
+    }
+    // The two spans must be the taken block in its entirety.
+    let bs = src[bt];
+    let js = src[bt + 1];
+    if bs.block != js.block || bs.instr != 0 {
+        return None;
+    }
+    if bt + 2 < spans.len() && src[bt + 2].block == bs.block {
+        return None;
+    }
+    let mut o = OpData::new();
+    o.r = [
+        dst.index() as u32,
+        lhs.index() as u32,
+        rr.index() as u32,
+        w.index() as u32,
+        base.index() as u32,
+        offr.index() as u32,
+        acc.index() as u32,
+        j.index() as u32,
+    ];
+    o.op_a = op;
+    o.op_b = accop;
+    o.op_c = jop;
+    o.imm = jimm;
+    o.t = [bt as u32, map(fallthrough), ti as u32];
+    let fast = matches!(op, BinOp::Lt | BinOp::Le)
+        && matches!(accop, BinOp::Add | BinOp::Sub | BinOp::Mul)
+        && jop == BinOp::Add
+        && jimm == 1
+        && offr == lhs
+        && j == lhs
+        && all_distinct(&[dst, lhs, rr, w, base, acc]);
+    Some((o, fast))
+}
+
+/// Recognizes the guarded-update loop at head span `ti` — the
+/// relaxation shape of Floyd–Warshall-style kernels:
+///
+/// ```text
+/// head:  t := j cmp n;           taken -> body, else -> exit
+/// body:  x1 := la1 op1 ra1;  x2 := x1 op2 j;  a := heap[hb + x2]
+///        cand := lc opc a;   x3 := ld opd rd; x4 := x3 ope j
+///        bb := heap[hb2 + x4]
+///        c := cand cmp2 bb;      taken -> then, else -> endif
+/// then:  y1 := lt1 opf rt1;  y2 := y1 opg j;  heap[hb3 + y2] := cand
+/// endif: j := j + 1; jump head
+/// ```
+///
+/// with every operator one of the five specialised (total-on-int) ops,
+/// the invariants `{n, la1, ra1, hb, lc, ld, rd, hb2, lt1, rt1, hb3}`
+/// never written by the loop, `j` distinct from every written register,
+/// and `cand` surviving (unclobbered) from its definition to its last
+/// read — the conditions under which [`h_guarded_loop`]'s dry pass over
+/// locals observes exactly the values the per-step path would.
+/// Returns the side-table payload and the four non-head loop block
+/// entry pcs (for the watch-stream promotion check).
+fn match_guarded(
+    d: &DecodedProgram,
+    spans: &[(usize, usize, Shape)],
+    src: &[UopSource],
+    map: &impl Fn(u32) -> u32,
+    ti: usize,
+) -> Option<(GuardedLoop, [usize; 4])> {
+    let (i, _, shape) = spans[ti];
+    if shape != Shape::Fused {
+        return None;
+    }
+    let UOp::CmpBranchBranch {
+        dst: t,
+        op,
+        lhs: j,
+        rhs: Src::Reg(n),
+        taken,
+        ..
+    } = d.uops[i]
+    else {
+        return None;
+    };
+    if !is_specialised(op) {
+        return None;
+    }
+    // Body block: exactly the five spans
+    // [Op2HLoad, Alu2, Plain op, Plain load, Fused branch].
+    let bt = map(taken) as usize;
+    if bt + 4 >= spans.len() || bt == ti {
+        return None;
+    }
+    let shapes_ok = spans[bt].2 == Shape::Op2HLoad
+        && spans[bt + 1].2 == Shape::Alu2
+        && spans[bt + 2].2 == Shape::Plain
+        && spans[bt + 3].2 == Shape::Plain
+        && spans[bt + 4].2 == Shape::Fused;
+    if !shapes_ok {
+        return None;
+    }
+    let blk = src[bt].block;
+    if src[bt].instr != 0
+        || (1..5).any(|k| src[bt + k].block != blk)
+        || (bt + 5 < spans.len() && src[bt + 5].block == blk)
+    {
+        return None;
+    }
+    let bi = spans[bt].0;
+    let (x1, la1, ra1s, op1) = alu_parts(d.uops[bi])?;
+    let Src::Reg(ra1) = ra1s else {
+        return None;
+    };
+    let (x2, lb1, rb1s, op2) = alu_parts(d.uops[bi + 1])?;
+    let Src::Reg(rb1) = rb1s else {
+        return None;
+    };
+    if lb1 != x1 || rb1 != j {
+        return None;
+    }
+    let UOp::HLoad {
+        dst: a,
+        base: hb,
+        offset: IntSrc::Reg(offa),
+    } = d.uops[bi + 2]
+    else {
+        return None;
+    };
+    if offa != x2 {
+        return None;
+    }
+    let ci = spans[bt + 1].0;
+    let (cand, lc, rcs, opc) = alu_parts(d.uops[ci])?;
+    let Src::Reg(rc) = rcs else {
+        return None;
+    };
+    let (x3, ld, rds, opd) = alu_parts(d.uops[ci + 1])?;
+    let Src::Reg(rd) = rds else {
+        return None;
+    };
+    if rc != a {
+        return None;
+    }
+    let (x4, le, res, ope) = alu_parts(d.uops[spans[bt + 2].0])?;
+    let Src::Reg(re) = res else {
+        return None;
+    };
+    if le != x3 || re != j {
+        return None;
+    }
+    let UOp::HLoad {
+        dst: bb,
+        base: hb2,
+        offset: IntSrc::Reg(offb),
+    } = d.uops[spans[bt + 3].0]
+    else {
+        return None;
+    };
+    if offb != x4 {
+        return None;
+    }
+    let UOp::CmpBranchBranch {
+        dst: c,
+        op: cmp2,
+        lhs: cl,
+        rhs: Src::Reg(cr),
+        taken: then_l,
+        fallthrough: else_l,
+    } = d.uops[spans[bt + 4].0]
+    else {
+        return None;
+    };
+    if cl != cand || cr != bb || !is_specialised(cmp2) {
+        return None;
+    }
+    // Then block: [Op2HStore, Jump -> endif], in its entirety.
+    let tt = map(then_l) as usize;
+    if tt + 1 >= spans.len()
+        || spans[tt].2 != Shape::Op2HStore
+        || spans[tt + 1].2 != Shape::Plain
+        || src[tt].instr != 0
+        || src[tt + 1].block != src[tt].block
+        || (tt + 2 < spans.len() && src[tt + 2].block == src[tt].block)
+    {
+        return None;
+    }
+    let si = spans[tt].0;
+    let (y1, lt1, rt1s, opf) = alu_parts(d.uops[si])?;
+    let Src::Reg(rt1) = rt1s else {
+        return None;
+    };
+    let (y2, ly2, ry2s, opg) = alu_parts(d.uops[si + 1])?;
+    let Src::Reg(ry2) = ry2s else {
+        return None;
+    };
+    if ly2 != y1 || ry2 != j {
+        return None;
+    }
+    let UOp::HStore {
+        base: hb3,
+        offset: IntSrc::Reg(offs),
+        src: IntSrc::Reg(sv),
+    } = d.uops[si + 2]
+    else {
+        return None;
+    };
+    if offs != y2 || sv != cand {
+        return None;
+    }
+    let UOp::Jump { target: tj } = d.uops[spans[tt + 1].0] else {
+        return None;
+    };
+    // Else block: [Jump -> endif], in its entirety.
+    let et = map(else_l) as usize;
+    if spans[et].2 != Shape::Plain
+        || src[et].instr != 0
+        || (et + 1 < spans.len() && src[et + 1].block == src[et].block)
+    {
+        return None;
+    }
+    let UOp::Jump { target: ej } = d.uops[spans[et].0] else {
+        return None;
+    };
+    // Endif block: [OpJump j := j + 1 -> head], in its entirety.
+    let ei = map(tj) as usize;
+    if map(ej) as usize != ei
+        || spans[ei].2 != Shape::Fused
+        || src[ei].instr != 0
+        || (ei + 1 < spans.len() && src[ei + 1].block == src[ei].block)
+    {
+        return None;
+    }
+    let UOp::OpJump {
+        dst: j2,
+        op: BinOp::Add,
+        lhs: j3,
+        rhs: Src::Int(1),
+        target: back,
+    } = d.uops[spans[ei].0]
+    else {
+        return None;
+    };
+    if j2 != j || j3 != j || map(back) as usize != ti {
+        return None;
+    }
+    // Aliasing discipline (see the handler's soundness argument).
+    let writes = [t, x1, x2, a, cand, x3, x4, bb, c, y1, y2];
+    if writes.contains(&j) {
+        return None;
+    }
+    let invariants = [n, la1, ra1, hb, lc, ld, rd, hb2, lt1, rt1, hb3];
+    if invariants.iter().any(|r| writes.contains(r) || *r == j) {
+        return None;
+    }
+    if [x3, x4, bb, c, y1, y2].contains(&cand) {
+        return None;
+    }
+    let ri = |r: Reg| r.index() as u32;
+    let g = GuardedLoop {
+        x1: ri(x1),
+        la1: ri(la1),
+        ra1: ri(ra1),
+        op1,
+        x2: ri(x2),
+        op2,
+        a: ri(a),
+        hb: ri(hb),
+        cand: ri(cand),
+        lc: ri(lc),
+        opc,
+        x3: ri(x3),
+        ld: ri(ld),
+        rd: ri(rd),
+        opd,
+        x4: ri(x4),
+        ope,
+        bb: ri(bb),
+        hb2: ri(hb2),
+        c: ri(c),
+        cmp2,
+        y1: ri(y1),
+        lt1: ri(lt1),
+        rt1: ri(rt1),
+        opf,
+        y2: ri(y2),
+        opg,
+        hb3: ri(hb3),
+    };
+    Some((g, [bt, tt, et, ei]))
+}
+
+/// Emits the handler + payload of an unmerged span (one decoded
+/// micro-op, plain or fused). `next` is the fall-through threaded pc;
+/// `map` converts decoded jump targets to threaded pcs.
+fn emit_single(u: UOp, next: u32, map: &impl Fn(u32) -> u32) -> (Handler, OpData) {
+    let mut o = OpData::new();
+    o.t[0] = next;
+    /// Binds a `dst := lhs op rhs` payload with rhs-kind handler choice.
+    macro_rules! alu1 {
+        ($dst:expr, $lhs:expr, $rhs:expr, $op:expr, $hr:expr, $hi:expr) => {{
+            o.r[0] = $dst.index() as u32;
+            o.r[1] = $lhs.index() as u32;
+            match $rhs {
+                Src::Reg(r) => {
+                    o.r[2] = r.index() as u32;
+                    ($hr as Handler, o)
+                }
+                Src::Int(n) => {
+                    o.imm = n;
+                    ($hi as Handler, o)
+                }
+                Src::Label(l) => {
+                    o.r[2] = l.index() as u32;
+                    o.op_a = $op;
+                    (h_op_l as Handler, o)
+                }
+            }
+        }};
+    }
+    /// Binds a fused-branch payload (cmp in `r[0..3]`/`op_a`) with
+    /// rhs-kind handler choice.
+    macro_rules! fused {
+        ($dst:expr, $lhs:expr, $rhs:expr, $op:expr, $hr:expr, $hi:expr, $hl:expr) => {{
+            o.r[0] = $dst.index() as u32;
+            o.r[1] = $lhs.index() as u32;
+            o.op_a = $op;
+            match $rhs {
+                Src::Reg(r) => {
+                    o.r[2] = r.index() as u32;
+                    ($hr as Handler, o)
+                }
+                Src::Int(n) => {
+                    o.imm = n;
+                    ($hi as Handler, o)
+                }
+                Src::Label(l) => {
+                    o.r[2] = l.index() as u32;
+                    ($hl as Handler, o)
+                }
+            }
+        }};
+    }
+    match u {
+        UOp::Mov { dst, src } => {
+            o.r[0] = dst.index() as u32;
+            match src {
+                Src::Reg(r) => {
+                    o.r[1] = r.index() as u32;
+                    (h_mov_r as Handler, o)
+                }
+                Src::Int(n) => {
+                    o.imm = n;
+                    (h_mov_i as Handler, o)
+                }
+                Src::Label(l) => {
+                    o.r[1] = l.index() as u32;
+                    (h_mov_l as Handler, o)
+                }
+            }
+        }
+        UOp::Op { dst, op, lhs, rhs } => {
+            o.op_a = op;
+            o.r[0] = dst.index() as u32;
+            o.r[1] = lhs.index() as u32;
+            match rhs {
+                Src::Reg(r) => {
+                    o.r[2] = r.index() as u32;
+                    (h_op_r as Handler, o)
+                }
+                Src::Int(n) => {
+                    o.imm = n;
+                    (h_op_i as Handler, o)
+                }
+                Src::Label(l) => {
+                    o.r[2] = l.index() as u32;
+                    (h_op_l as Handler, o)
+                }
+            }
+        }
+        UOp::OpAdd { dst, lhs, rhs } => alu1!(dst, lhs, rhs, BinOp::Add, h_add_r, h_add_i),
+        UOp::OpSub { dst, lhs, rhs } => alu1!(dst, lhs, rhs, BinOp::Sub, h_sub_r, h_sub_i),
+        UOp::OpMul { dst, lhs, rhs } => alu1!(dst, lhs, rhs, BinOp::Mul, h_mul_r, h_mul_i),
+        UOp::OpLt { dst, lhs, rhs } => alu1!(dst, lhs, rhs, BinOp::Lt, h_lt_r, h_lt_i),
+        UOp::OpLe { dst, lhs, rhs } => alu1!(dst, lhs, rhs, BinOp::Le, h_le_r, h_le_i),
+        UOp::Jump { target } => {
+            o.t[0] = map(target);
+            (h_jump as Handler, o)
+        }
+        UOp::JumpReg { reg } => {
+            o.r[0] = reg.index() as u32;
+            (h_jump_reg as Handler, o)
+        }
+        UOp::JumpBad { .. } => (h_jump_bad as Handler, o),
+        UOp::IfJump { cond, target } => {
+            o.r[0] = cond.index() as u32;
+            o.t[1] = next;
+            o.t[0] = map(target);
+            (h_if_jump as Handler, o)
+        }
+        UOp::IfJumpReg { cond, reg } => {
+            o.r[0] = cond.index() as u32;
+            o.r[1] = reg.index() as u32;
+            (h_if_jump_reg as Handler, o)
+        }
+        UOp::IfJumpBad { cond, .. } => {
+            o.r[0] = cond.index() as u32;
+            (h_if_jump_bad as Handler, o)
+        }
+        UOp::SAlloc { sp, n } => {
+            o.r[0] = sp.index() as u32;
+            o.r[1] = n;
+            (h_salloc as Handler, o)
+        }
+        UOp::SFree { sp, n } => {
+            o.r[0] = sp.index() as u32;
+            o.r[1] = n;
+            (h_sfree as Handler, o)
+        }
+        UOp::Load { dst, base, offset } => {
+            o.r[0] = dst.index() as u32;
+            o.r[1] = base.index() as u32;
+            o.r[2] = offset;
+            (h_load as Handler, o)
+        }
+        UOp::Store { base, offset, src } => {
+            o.r[0] = base.index() as u32;
+            o.r[1] = offset;
+            match src {
+                Src::Reg(r) => {
+                    o.r[2] = r.index() as u32;
+                    (h_store_r as Handler, o)
+                }
+                Src::Int(n) => {
+                    o.imm = n;
+                    (h_store_i as Handler, o)
+                }
+                Src::Label(l) => {
+                    o.r[2] = l.index() as u32;
+                    (h_store_l as Handler, o)
+                }
+            }
+        }
+        UOp::PrmPush { base, offset } => {
+            o.r[0] = base.index() as u32;
+            o.r[1] = offset;
+            (h_prm_push as Handler, o)
+        }
+        UOp::PrmPop { base, offset } => {
+            o.r[0] = base.index() as u32;
+            o.r[1] = offset;
+            (h_prm_pop as Handler, o)
+        }
+        UOp::PrmEmpty { dst, sp } => {
+            o.r[0] = dst.index() as u32;
+            o.r[1] = sp.index() as u32;
+            (h_prm_empty as Handler, o)
+        }
+        UOp::PrmSplit { sp, dst } => {
+            o.r[0] = sp.index() as u32;
+            o.r[1] = dst.index() as u32;
+            (h_prm_split as Handler, o)
+        }
+        UOp::HLoad { dst, base, offset } => {
+            o.r[0] = dst.index() as u32;
+            o.r[1] = base.index() as u32;
+            match offset {
+                IntSrc::Reg(r) => {
+                    o.r[2] = r.index() as u32;
+                    (h_hload_r as Handler, o)
+                }
+                IntSrc::Imm(n) => {
+                    o.imm = n;
+                    (h_hload_i as Handler, o)
+                }
+                IntSrc::Bad(_) => (h_hload_bad as Handler, o),
+            }
+        }
+        UOp::HStore { base, offset, src } => {
+            o.r[0] = base.index() as u32;
+            match (offset, src) {
+                (IntSrc::Reg(r), IntSrc::Reg(s)) => {
+                    o.r[1] = r.index() as u32;
+                    o.r[2] = s.index() as u32;
+                    (h_hstore_rr as Handler, o)
+                }
+                (IntSrc::Reg(r), IntSrc::Imm(n)) => {
+                    o.r[1] = r.index() as u32;
+                    o.imm2 = n;
+                    (h_hstore_ri as Handler, o)
+                }
+                (IntSrc::Imm(n), IntSrc::Reg(s)) => {
+                    o.imm = n;
+                    o.r[2] = s.index() as u32;
+                    (h_hstore_ir as Handler, o)
+                }
+                (IntSrc::Imm(n), IntSrc::Imm(m)) => {
+                    o.imm = n;
+                    o.imm2 = m;
+                    (h_hstore_ii as Handler, o)
+                }
+                (off, s) => {
+                    // Slow path with kind codes: 0 register, 1
+                    // immediate, 2 bad label literal.
+                    match off {
+                        IntSrc::Reg(r) => o.r[1] = r.index() as u32,
+                        IntSrc::Imm(n) => {
+                            o.imm = n;
+                            o.r[4] = 1;
+                        }
+                        IntSrc::Bad(_) => o.r[4] = 2,
+                    }
+                    match s {
+                        IntSrc::Reg(r) => o.r[2] = r.index() as u32,
+                        IntSrc::Imm(n) => {
+                            o.imm2 = n;
+                            o.r[5] = 1;
+                        }
+                        IntSrc::Bad(_) => o.r[5] = 2,
+                    }
+                    (h_hstore_slow as Handler, o)
+                }
+            }
+        }
+        UOp::CmpBranch {
+            dst,
+            op,
+            lhs,
+            rhs,
+            taken,
+        } => {
+            o.t[1] = next;
+            o.t[0] = map(taken);
+            fused!(dst, lhs, rhs, op, h_cb_r, h_cb_i, h_cb_l)
+        }
+        UOp::CmpBranchBranch {
+            dst,
+            op,
+            lhs,
+            rhs,
+            taken,
+            fallthrough,
+        } => {
+            o.t[0] = map(taken);
+            o.t[1] = map(fallthrough);
+            fused!(dst, lhs, rhs, op, h_cbb_r, h_cbb_i, h_cbb_l)
+        }
+        UOp::OpJump {
+            dst,
+            op,
+            lhs,
+            rhs,
+            target,
+        } => {
+            o.t[0] = map(target);
+            fused!(dst, lhs, rhs, op, h_oj_r, h_oj_i, h_oj_l)
+        }
+        UOp::StepCmpBranch {
+            step_dst,
+            step_op,
+            step_lhs,
+            step_imm,
+            dst,
+            op,
+            lhs,
+            rhs,
+            taken,
+        } => {
+            o.r[3] = step_dst.index() as u32;
+            o.r[4] = step_lhs.index() as u32;
+            o.op_b = step_op;
+            o.imm2 = step_imm;
+            o.t[1] = next;
+            o.t[0] = map(taken);
+            fused!(dst, lhs, rhs, op, h_scb_r, h_scb_i, h_scb_l)
+        }
+        UOp::PrpptPause => unreachable!("plain stream never holds PrpptPause"),
+        UOp::Boundary => (h_boundary as Handler, o),
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,22 +1,20 @@
-//! Property tests of the decoded micro-op executor: on randomly
-//! generated valid programs, [`DecodedProgram::run_until`] must reach
-//! exactly the same final state as the reference interpreter
-//! ([`run_task_until`] / [`step_task`]) — same final registers, same
-//! heap checksum, same cycle count, and, when the program faults, the
-//! same [`MachineError`] at the same task position. The generator
-//! deliberately produces division-by-zero, uninitialised-register,
-//! heap-range, and stack-fault paths, and the decoded side is driven
-//! with adversarial quantum chunkings so fused micro-ops are split
-//! mid-way.
+//! Property tests of the compiled executors: on randomly generated
+//! valid programs, the decoded micro-op tier **and** the threaded-code
+//! tier must reach exactly the same final state as the reference
+//! interpreter ([`run_task_until`] / [`step_task`]) — same final
+//! registers, same heap checksum, same cycle count, and, when the
+//! program faults, the same [`MachineError`] at the same task position.
+//! The generator deliberately produces division-by-zero,
+//! uninitialised-register, heap-range, and stack-fault paths, and the
+//! compiled tiers are driven with adversarial quantum chunkings so
+//! fused micro-ops and merged threaded spans are split mid-way.
 
 use proptest::prelude::*;
 
-use tpal_core::decoded::DecodedProgram;
 use tpal_core::isa::{BinOp, Instr, MemAddr, Operand};
-use tpal_core::machine::{
-    run_task_until, step_task, MachineError, RunPause, StepOutcome, Stores, TaskState,
-};
+use tpal_core::machine::{step_task, MachineError, RunPause, StepOutcome, Stores, TaskState};
 use tpal_core::program::{Program, ProgramBuilder};
+use tpal_core::tier::{ExecBackend, ExecTier};
 
 /// Value registers `r0..r4` are initialised by the entry block; `u` is
 /// never written (reads fault); `sp` holds the stack, `arr` the heap
@@ -213,7 +211,7 @@ struct RunResult {
     heap_checksum: u64,
 }
 
-fn drive(program: &Program, decoded: Option<&DecodedProgram>, chunks: &[u64]) -> RunResult {
+fn drive(program: &Program, backend: &ExecBackend, chunks: &[u64]) -> RunResult {
     let mut task = TaskState::new(program, program.entry());
     let mut stores = Stores::new();
     let mut ci = 0usize;
@@ -223,10 +221,7 @@ fn drive(program: &Program, decoded: Option<&DecodedProgram>, chunks: &[u64]) ->
         assert!(guard < 100_000, "generated program failed to terminate");
         let chunk = chunks[ci % chunks.len()];
         ci += 1;
-        let r = match decoded {
-            Some(d) => d.run_until(&mut task, &mut stores, chunk, false),
-            None => run_task_until(program, &mut task, &mut stores, chunk, false),
-        };
+        let r = backend.run_until(program, &mut task, &mut stores, chunk, false);
         match r {
             Ok((_, RunPause::Quantum)) => continue,
             Ok((_, RunPause::PromotionReady)) => unreachable!("watch is off"),
@@ -254,11 +249,12 @@ fn drive(program: &Program, decoded: Option<&DecodedProgram>, chunks: &[u64]) ->
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
-    /// Decoded execution reaches the reference's exact final state —
-    /// registers, heap, cycles, fault and fault position — regardless
-    /// of how quanta slice the run (including mid-fused-op splits).
+    /// Compiled execution (decoded and threaded tiers) reaches the
+    /// reference's exact final state — registers, heap, cycles, fault
+    /// and fault position — regardless of how quanta slice the run
+    /// (including mid-fused-op and mid-merged-span splits).
     #[test]
-    fn decoded_matches_reference(
+    fn compiled_tiers_match_reference(
         bodies in proptest::collection::vec(
             proptest::collection::vec(instr_strategy(), 0..10), 4..7),
         jumps in proptest::collection::vec(0usize..8, 7..8),
@@ -267,17 +263,21 @@ proptest! {
             proptest::sample::select(&[1u64, 2, 3, 5, 7, 64, u64::MAX][..]), 1..6),
     ) {
         let p = build_program(&bodies, &jumps, &seeds);
-        let d = DecodedProgram::decode(&p);
-        let reference = drive(&p, None, &[u64::MAX]);
-        // Unchunked decoded run.
-        let whole = drive(&p, Some(&d), &[u64::MAX]);
-        prop_assert_eq!(&reference, &whole);
-        // Adversarially chunked decoded run (splits fused micro-ops).
-        let sliced = drive(&p, Some(&d), &chunks);
-        prop_assert_eq!(&reference, &sliced);
+        let reference_backend = ExecBackend::new(&p, ExecTier::Reference);
+        let reference = drive(&p, &reference_backend, &[u64::MAX]);
+        for tier in [ExecTier::Decoded, ExecTier::Threaded] {
+            let backend = ExecBackend::new(&p, tier);
+            // Unchunked compiled run.
+            let whole = drive(&p, &backend, &[u64::MAX]);
+            prop_assert_eq!(&reference, &whole, "{} whole", tier);
+            // Adversarially chunked compiled run (splits fused
+            // micro-ops and merged spans).
+            let sliced = drive(&p, &backend, &chunks);
+            prop_assert_eq!(&reference, &sliced, "{} sliced", tier);
+        }
         // Chunked *reference* run, for symmetry: the pause protocol
-        // itself must be chunking-invariant on both executors.
-        let ref_sliced = drive(&p, None, &chunks);
+        // itself must be chunking-invariant on every executor.
+        let ref_sliced = drive(&p, &reference_backend, &chunks);
         prop_assert_eq!(&reference, &ref_sliced);
     }
 }

@@ -48,11 +48,16 @@ mod heartbeat;
 mod job;
 mod parallel;
 pub mod pool;
+pub mod program;
 mod stats;
 
 pub use heartbeat::HeartbeatSource;
 pub use pool::{RtConfig, Runtime, WorkerCtx};
+pub use program::{ProgramOutcome, ProgramStats};
 pub use stats::RtStats;
+// The interpreter tier for `Runtime::run_program`; re-exported so
+// runtime users need not depend on `tpal-core` directly.
+pub use tpal_core::tier::ExecTier;
 // The scheduling policies themselves live in the shared policy kernel;
 // re-exported so runtime users need not depend on `tpal-sched` directly.
 pub use tpal_sched::{Policy, Promotion, Victim};

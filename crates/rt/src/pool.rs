@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use tpal_core::tier::ExecTier;
 use tpal_deque::{deque, Steal, Stealer, Worker};
 use tpal_sched::{
     HeartbeatCell, HeartbeatSource, Policy, PromoteState, Promotion, RngEnv, SplitMix64, Victim,
@@ -55,6 +56,11 @@ pub struct RtConfig {
     /// [`RtConfig::suppress_promotions`] overrides the promotion half
     /// to `never`.
     pub policy: Policy,
+    /// Which interpreter tier [`Runtime::run_program`] executes TPAL
+    /// straight-line stretches through. All tiers are bit-identical in
+    /// outcome (see [`tpal_core::tier`]); native closure-level jobs are
+    /// unaffected.
+    pub exec_tier: ExecTier,
 }
 
 impl Default for RtConfig {
@@ -72,6 +78,7 @@ impl Default for RtConfig {
                 promotion: Promotion::Heartbeat,
                 victim: Victim::Sequence,
             },
+            exec_tier: ExecTier::default(),
         }
     }
 }
@@ -119,6 +126,13 @@ impl RtConfig {
         self.policy = p;
         self
     }
+
+    /// Sets the execution tier for TPAL program runs (default:
+    /// threaded).
+    pub fn exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = tier;
+        self
+    }
 }
 
 pub(crate) struct WorkerShared {
@@ -141,6 +155,8 @@ pub(crate) struct Shared {
     /// The steal-victim policy.
     pub victim: Victim,
     pub poll_stride: usize,
+    /// The interpreter tier for [`Runtime::run_program`].
+    pub exec_tier: ExecTier,
     pub rng_salt: AtomicU64,
     /// Structured event recording (None unless [`RtConfig::trace`]).
     pub tracer: Option<SharedTracer>,
@@ -358,6 +374,7 @@ impl Runtime {
             promotion: effective.promotion,
             victim: effective.victim,
             poll_stride: config.poll_stride.max(1),
+            exec_tier: config.exec_tier,
             rng_salt: AtomicU64::new(0x9E3779B9),
             tracer: config.trace.then(|| {
                 SharedTracer::new(config.workers, "ticks", interval_ticks.max(1))
@@ -484,6 +501,11 @@ impl Runtime {
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.shared.workers.len()
+    }
+
+    /// The configured execution tier for TPAL program runs.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.shared.exec_tier
     }
 }
 

@@ -5,9 +5,11 @@
 //! binary-heap event queue orders interrupt deliveries and core actions
 //! by `(time, phase, core)`, and between scheduling-relevant boundaries
 //! each core executes whole *runs* of straight-line instructions in one
-//! [`DecodedProgram::run_until`] call over the pre-decoded micro-op
-//! stream (the program is decoded once per [`Sim`] and shared by every
-//! core and task) instead of one `step_task` round-trip per cycle.
+//! [`ExecBackend::run_until`] call over the configured execution tier
+//! (reference, decoded micro-ops, or threaded code — compiled once per
+//! [`Sim`] and shared by every core and task, see
+//! [`SimConfig::exec_tier`]) instead of one `step_task` round-trip per
+//! cycle.
 //! Simulated time jumps from event to event, so the cost of a run is
 //! O(instructions + events·log events) rather than
 //! O(makespan × cores).
@@ -20,13 +22,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use tpal_core::decoded::DecodedProgram;
 use tpal_core::isa::Reg;
 use tpal_core::machine::{
     resolve_join, step_task, JoinResolution, MachineError, PromotionOrder, RunPause, StepOutcome,
     Stores, TaskState, Value,
 };
 use tpal_core::program::Program;
+use tpal_core::tier::{ExecBackend, ExecTier};
 
 use tpal_sched::{
     HeartbeatDelivery, InterruptModel, PingChain, Policy, PromoteState, PromoteStep,
@@ -74,6 +76,9 @@ pub struct SimConfig {
     /// whom a thief probes. The default (`heartbeat/uniform`) is the
     /// pre-kernel behaviour, bit for bit.
     pub policy: Policy,
+    /// Which interpreter tier executes task quanta. All tiers are
+    /// bit-identical in outcome; they differ only in dispatch speed.
+    pub exec_tier: ExecTier,
 }
 
 impl Default for SimConfig {
@@ -92,6 +97,7 @@ impl Default for SimConfig {
             record_trace: false,
             promotion_order: PromotionOrder::OldestFirst,
             policy: Policy::default(),
+            exec_tier: ExecTier::default(),
         }
     }
 }
@@ -278,9 +284,9 @@ fn push_action(queue: &mut BinaryHeap<Reverse<Event>>, core: usize, time: u64) {
 /// API: construct, seed inputs, [`Sim::run`].
 pub struct Sim<'p> {
     program: &'p Program,
-    /// The program compiled to micro-ops — decoded once here and shared
-    /// by every core and task for the whole run.
-    decoded: DecodedProgram,
+    /// The program compiled for the configured execution tier — once
+    /// here, shared by every core and task for the whole run.
+    backend: ExecBackend,
     config: SimConfig,
     stores: Stores,
     initial: Option<TaskState>,
@@ -295,7 +301,7 @@ impl<'p> Sim<'p> {
         stores.stacks.set_promotion_order(config.promotion_order);
         Sim {
             program,
-            decoded: DecodedProgram::decode(program),
+            backend: ExecBackend::new(program, config.exec_tier),
             config,
             stores,
             initial: Some(TaskState::new(program, program.entry())),
@@ -786,9 +792,13 @@ impl<'p> Sim<'p> {
             };
             let watch = !step_past && promo.watch(&cores[c].promote);
 
-            let (steps, pause) =
-                self.decoded
-                    .run_until(&mut task, &mut self.stores, max_steps, watch)?;
+            let (steps, pause) = self.backend.run_until(
+                self.program,
+                &mut task,
+                &mut self.stores,
+                max_steps,
+                watch,
+            )?;
             if steps > 0 {
                 stats.instructions += steps;
                 stats.work_cycles += steps;

@@ -1,16 +1,19 @@
-//! Differential tests: the event-driven engine ([`Sim`]) must be
-//! *observably equivalent* to the cycle-tick reference ([`SimRef`]) —
-//! identical makespan, identical [`SimStats`] field by field, and
-//! identical final registers — on real workload programs, across every
-//! interrupt model and several RNG seeds.
+//! Differential tests: the event-driven engine ([`Sim`]) — on **every
+//! execution tier** (reference interpreter, decoded micro-ops, threaded
+//! code) — must be *observably equivalent* to the cycle-tick reference
+//! ([`SimRef`]): identical makespan, identical [`SimStats`] field by
+//! field, and identical final registers, on real workload programs,
+//! across every interrupt model and several RNG seeds.
 //!
 //! This suite is what licenses the event-queue + instruction-batching
-//! rewrite: any scheduling divergence (RNG consumption order, deque
-//! contents, allocation order, interrupt timing) shows up here as a
-//! mismatched counter or register.
+//! rewrite and the tiered interpreters stacked on it: any scheduling
+//! divergence (RNG consumption order, deque contents, allocation order,
+//! interrupt timing) or tier-semantics divergence (quantum splits,
+//! fault points, step accounting, promotion-watch behaviour) shows up
+//! here as a mismatched counter or register.
 
 use tpal_ir::lower::{lower, Mode};
-use tpal_sim::{InterruptModel, Policy, Sim, SimConfig, SimRef};
+use tpal_sim::{ExecTier, InterruptModel, Policy, Sim, SimConfig, SimRef};
 use tpal_workloads::{workload, Scale, SimSpec};
 
 const SEEDS: [u64; 3] = [0xDEC0DE, 1, 0xFEED_5EED];
@@ -23,48 +26,57 @@ fn configs() -> Vec<(&'static str, Mode, SimConfig)> {
     ]
 }
 
-/// Runs `spec` under `config` on both engines and asserts observable
-/// equivalence plus the workload checksum.
+/// Runs `spec` under `config` on [`SimRef`] once, then on [`Sim`] at
+/// **each execution tier**, asserting observable equivalence plus the
+/// workload checksum for every tier.
 fn assert_pair_agrees(spec: &SimSpec, mode: Mode, config: SimConfig, ctx: &str) {
     let lowered = lower(&spec.ir, mode).unwrap_or_else(|e| panic!("lowering failed: {e}"));
 
-    let mut new_engine = Sim::new(&lowered.program, config);
     let mut ref_engine = SimRef::new(&lowered.program, config);
     for (pname, data) in &spec.input.arrays {
-        let base_new = new_engine.alloc_array(data);
         let base_ref = ref_engine.alloc_array(data);
-        assert_eq!(base_new, base_ref, "{ctx}: array base for {pname}");
-        new_engine
-            .set_reg(&lowered.param_reg(pname), base_new)
-            .unwrap();
         ref_engine
             .set_reg(&lowered.param_reg(pname), base_ref)
             .unwrap();
     }
     for (pname, v) in &spec.input.ints {
-        new_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
         ref_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
     }
-
-    let new_out = new_engine
-        .run()
-        .unwrap_or_else(|e| panic!("{ctx}: new engine failed: {e}"));
     let ref_out = ref_engine
         .run()
         .unwrap_or_else(|e| panic!("{ctx}: reference engine failed: {e}"));
 
-    assert_eq!(new_out.time, ref_out.time, "{ctx}: makespan");
-    assert_eq!(new_out.stats, ref_out.stats, "{ctx}: stats");
-    assert_eq!(
-        new_out.final_regs(),
-        ref_out.final_regs(),
-        "{ctx}: final registers"
-    );
-    assert_eq!(
-        new_out.read_reg(&lowered.result_reg),
-        Some(spec.expected),
-        "{ctx}: checksum"
-    );
+    for tier in ExecTier::ALL {
+        let mut config = config;
+        config.exec_tier = tier;
+        let mut new_engine = Sim::new(&lowered.program, config);
+        for (pname, data) in &spec.input.arrays {
+            let base_new = new_engine.alloc_array(data);
+            new_engine
+                .set_reg(&lowered.param_reg(pname), base_new)
+                .unwrap();
+        }
+        for (pname, v) in &spec.input.ints {
+            new_engine.set_reg(&lowered.param_reg(pname), *v).unwrap();
+        }
+
+        let new_out = new_engine
+            .run()
+            .unwrap_or_else(|e| panic!("{ctx} [{tier}]: new engine failed: {e}"));
+
+        assert_eq!(new_out.time, ref_out.time, "{ctx} [{tier}]: makespan");
+        assert_eq!(new_out.stats, ref_out.stats, "{ctx} [{tier}]: stats");
+        assert_eq!(
+            new_out.final_regs(),
+            ref_out.final_regs(),
+            "{ctx} [{tier}]: final registers"
+        );
+        assert_eq!(
+            new_out.read_reg(&lowered.result_reg),
+            Some(spec.expected),
+            "{ctx} [{tier}]: checksum"
+        );
+    }
 }
 
 fn assert_engines_agree(name: &str) {

@@ -6,6 +6,7 @@
 //!               [--set reg=int]... [--heartbeat N] [--tau N]
 //!               [--sim CORES] [--linux | --nautilus]
 //!               [--policy P[/V]] [--victim V]
+//!               [--exec-tier ref|decoded|threaded]
 //!               [--newest-first] [--print]
 //!               [--trace OUT.json] [--profile]
 //! ```
@@ -24,6 +25,13 @@
 //! `--victim` selects the steal-victim policy alone (`uniform`,
 //! `sequence`, `locality`). Both default to the historical behaviour
 //! (`heartbeat/uniform`).
+//!
+//! `--exec-tier` selects the interpreter tier for straight-line
+//! execution (machine and simulator runs): `ref` (the specification
+//! interpreter), `decoded` (pre-decoded micro-ops), or `threaded`
+//! (direct-dispatch threaded code, the default). All tiers are
+//! bit-identical in results and statistics; they differ only in host
+//! execution speed.
 //!
 //! Observability (simulator runs only): `--trace OUT.json` records a
 //! structured scheduling trace and writes it as Chrome `trace_event`
@@ -45,7 +53,7 @@ use std::process::ExitCode;
 
 use tpal::core::asm::{parse_program, print_program};
 use tpal::core::machine::{Machine, MachineConfig, PromotionOrder};
-use tpal::sim::{Policy, Sim, SimConfig, Victim};
+use tpal::sim::{ExecTier, Policy, Sim, SimConfig, Victim};
 
 struct Options {
     file: String,
@@ -59,6 +67,7 @@ struct Options {
     mode: tpal::ir::Mode,
     order: PromotionOrder,
     policy: Policy,
+    exec_tier: ExecTier,
     trace_out: Option<String>,
     profile: bool,
 }
@@ -67,6 +76,7 @@ fn usage() -> String {
     "usage: tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]] \
      [--set reg=int]... [--heartbeat N] [--tau N] [--sim CORES] \
      [--linux | --nautilus] [--policy P[/V]] [--victim V] \
+     [--exec-tier ref|decoded|threaded] \
      [--newest-first] [--print] [--trace OUT.json] [--profile]"
         .to_owned()
 }
@@ -85,6 +95,7 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
         mode: tpal::ir::Mode::Heartbeat,
         order: PromotionOrder::OldestFirst,
         policy: Policy::default(),
+        exec_tier: ExecTier::default(),
         trace_out: None,
         profile: false,
     };
@@ -131,6 +142,12 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
             "--victim" => {
                 opts.policy.victim = Victim::parse(&need(&mut args, "--victim")?)
                     .map_err(|e| format!("--victim: {e}"))?;
+            }
+            "--exec-tier" => {
+                let spec = need(&mut args, "--exec-tier")?;
+                opts.exec_tier = ExecTier::parse(&spec).ok_or_else(|| {
+                    format!("--exec-tier: unknown tier `{spec}` (ref|decoded|threaded)")
+                })?;
             }
             "--trace" => opts.trace_out = Some(need(&mut args, "--trace")?),
             "--profile" => opts.profile = true,
@@ -242,6 +259,7 @@ fn main() -> ExitCode {
         };
         config.promotion_order = opts.order;
         config.policy = opts.policy;
+        config.exec_tier = opts.exec_tier;
         config.record_trace = opts.trace_out.is_some() || opts.profile;
         let mut sim = Sim::new(&program, config);
         for (k, v) in &sets {
@@ -309,7 +327,8 @@ fn main() -> ExitCode {
         let config = MachineConfig::default()
             .with_heartbeat(opts.heartbeat)
             .with_tau(opts.tau)
-            .with_promotion_order(opts.order);
+            .with_promotion_order(opts.order)
+            .with_exec_tier(opts.exec_tier);
         let mut m = Machine::new(&program, config);
         for (k, v) in &sets {
             if let Err(e) = m.set_reg(k, *v) {
