@@ -1,0 +1,227 @@
+//! Native runtime scaling: wall-clock speedup of the heartbeat runtime
+//! over the plain serial kernel as workers grow, on four workload
+//! shapes — flat reduction (`plus-reduce-array`), nested loops
+//! (`floyd-warshall-small`), irregular fork-join recursion
+//! (`mergesort-uniform`), and an escape-time loop with data-dependent
+//! trip counts (`mandelbrot`). Each workload runs serial once, then on
+//! the runtime at 1, 2, and 4 workers (min-of-trials, counters reset
+//! between trials), recording wall-clock, speedup vs the 1-worker
+//! runtime and vs serial, the heartbeat-vs-serial overhead % at one
+//! worker (the paper's "uncompromising" bound), and the scheduler's own
+//! account of the run: steals, promotions, tasks created. Writes
+//! `BENCH_rt_scaling.json` at the repo root (atomically: temp file in
+//! the same directory, then rename). The record carries the machine's
+//! core count — on fewer cores than workers the speedup columns
+//! measure oversubscription honesty, not parallel scaling.
+//!
+//! Every timed run also asserts the counter-shard invariant: the
+//! field-wise sum of `per_worker_stats` must equal the aggregate
+//! `stats` snapshot exactly (sharding partitions the counters, it does
+//! not resample them).
+//!
+//! With `TPAL_BENCH_SMOKE=1` the bench times `plus-reduce-array` at 1
+//! and 4 workers only and fails if the 4-worker run is not faster than
+//! the 1-worker run — skipped with a note when the machine has fewer
+//! than 4 cores, where the inversion is expected — without touching
+//! the JSON record. The shard invariant is asserted in both modes.
+
+use std::time::Duration;
+
+use tpal_bench::{time_native, trials, write_atomic};
+use tpal_rt::{HeartbeatSource, RtConfig, RtStats, Runtime};
+use tpal_workloads::{run_heartbeat_on, workload, Prepared, Scale};
+
+const CASES: [&str; 4] = [
+    "plus-reduce-array",
+    "floyd-warshall-small",
+    "mergesort-uniform",
+    "mandelbrot",
+];
+
+/// Worker counts of the scaling matrix (the acceptance floor is three).
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The paper's native heartbeat interval (§4.2: ♥ = 100µs).
+const HEARTBEAT_US: u64 = 100;
+
+fn runtime(workers: usize) -> Runtime {
+    Runtime::new(
+        RtConfig::default()
+            .workers(workers)
+            .source(HeartbeatSource::LocalTimer)
+            .heartbeat(Duration::from_micros(HEARTBEAT_US)),
+    )
+}
+
+/// Asserts that the sharded per-worker counters partition the aggregate
+/// snapshot (ISSUE 7 acceptance: sharded totals == previous globals).
+fn assert_shard_invariant(rt: &Runtime, workers: usize) -> RtStats {
+    let agg = rt.stats();
+    let per = rt.per_worker_stats();
+    assert_eq!(per.len(), workers, "one shard per worker");
+    assert_eq!(
+        per.iter().map(|s| s.promotions).sum::<u64>(),
+        agg.promotions,
+        "promotion shards must sum to the aggregate"
+    );
+    assert_eq!(
+        per.iter().map(|s| s.tasks_created).sum::<u64>(),
+        agg.tasks_created,
+        "task shards must sum to the aggregate"
+    );
+    assert_eq!(
+        per.iter().map(|s| s.steals).sum::<u64>(),
+        agg.steals,
+        "steal shards must sum to the aggregate"
+    );
+    assert_eq!(
+        per.iter().map(|s| s.heartbeats_serviced).sum::<u64>(),
+        agg.heartbeats_serviced,
+        "serviced shards must sum to the aggregate"
+    );
+    agg
+}
+
+/// Times one workload on one runtime: min-of-[`trials`] wall-clock with
+/// the counters reset before every trial, returning the best time and
+/// the counter snapshot of the final trial (each trial's shard
+/// invariant is asserted).
+fn time_heartbeat(rt: &Runtime, workers: usize, p: &dyn Prepared) -> (Duration, RtStats) {
+    let expected = p.expected();
+    let mut best = Duration::MAX;
+    let mut stats = RtStats::default();
+    for _ in 0..trials() {
+        rt.reset_stats();
+        let t = std::time::Instant::now();
+        let got = run_heartbeat_on(rt, p);
+        let elapsed = t.elapsed();
+        assert_eq!(got, expected, "heartbeat kernel returned a wrong checksum");
+        best = best.min(elapsed);
+        stats = assert_shard_invariant(rt, workers);
+    }
+    (best, stats)
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// CI-sized canary: `plus-reduce-array` at 1 and 4 workers. On a
+/// machine with at least 4 cores, 4 workers must beat 1; on smaller
+/// machines the gate is skipped (oversubscribed workers cannot beat a
+/// single pinned one) but the checksum and shard-invariant checks still
+/// run at both counts.
+fn smoke() {
+    let p = workload("plus-reduce-array")
+        .expect("known workload")
+        .prepare(Scale::Quick);
+    let mut times = [Duration::MAX; 2];
+    for (k, workers) in [1usize, 4].into_iter().enumerate() {
+        let rt = runtime(workers);
+        let (best, stats) = time_heartbeat(&rt, workers, p.as_ref());
+        times[k] = best;
+        println!(
+            "rt_scaling smoke plus-reduce-array @{workers}w: {:.3} ms \
+             ({} promotions, {} steals)",
+            best.as_secs_f64() * 1e3,
+            stats.promotions,
+            stats.steals
+        );
+    }
+    let [t1, t4] = times;
+    if cores() >= 4 {
+        assert!(
+            t4 < t1,
+            "4 workers ({t4:?}) must beat 1 worker ({t1:?}) on a {}-core machine",
+            cores()
+        );
+    } else {
+        println!(
+            "rt_scaling smoke: speedup gate skipped ({} core(s) < 4 — \
+             oversubscribed workers cannot beat one)",
+            cores()
+        );
+    }
+}
+
+fn main() {
+    if std::env::var_os("TPAL_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let cores = cores();
+    println!(
+        "rt_scaling: {} trials per point, heartbeat {HEARTBEAT_US}us, {cores} core(s)",
+        trials()
+    );
+
+    let mut rows = Vec::new();
+    for name in CASES {
+        let p = workload(name)
+            .expect("known workload")
+            .prepare(Scale::Quick);
+        let expected = p.expected();
+        let t_serial = time_native(expected, || p.run_serial());
+
+        let mut t_1w = Duration::MAX;
+        for &workers in &WORKER_COUNTS {
+            let rt = runtime(workers);
+            let (best, stats) = time_heartbeat(&rt, workers, p.as_ref());
+            if workers == 1 {
+                t_1w = best;
+            }
+            let speedup_vs_1w = t_1w.as_secs_f64() / best.as_secs_f64().max(1e-12);
+            let speedup_vs_serial = t_serial.as_secs_f64() / best.as_secs_f64().max(1e-12);
+            // The paper's overhead bound: heartbeat at one worker vs
+            // the plain serial kernel (promotion machinery priced in,
+            // parallelism not).
+            let overhead_pct =
+                (best.as_secs_f64() / t_serial.as_secs_f64().max(1e-12) - 1.0).max(-1.0) * 100.0;
+            println!(
+                "rt_scaling {name} @{workers}w: {:.3} ms \
+                 (serial {:.3} ms, {speedup_vs_1w:.2}x vs 1w, \
+                 {speedup_vs_serial:.2}x vs serial{}), \
+                 {} steals, {} promotions, {} tasks",
+                best.as_secs_f64() * 1e3,
+                t_serial.as_secs_f64() * 1e3,
+                if workers == 1 {
+                    format!(", overhead {overhead_pct:+.1}%")
+                } else {
+                    String::new()
+                },
+                stats.steals,
+                stats.promotions,
+                stats.tasks_created
+            );
+            rows.push(format!(
+                "    {{\n      \"workload\": \"{name}\",\n      \"workers\": {workers},\n      \
+                 \"serial_ns\": {},\n      \"heartbeat_ns\": {},\n      \
+                 \"speedup_vs_1w\": {speedup_vs_1w:.3},\n      \
+                 \"speedup_vs_serial\": {speedup_vs_serial:.3},\n      \
+                 \"overhead_vs_serial_pct\": {overhead_pct:.2},\n      \
+                 \"steals\": {},\n      \"promotions\": {},\n      \
+                 \"tasks_created\": {}\n    }}",
+                t_serial.as_nanos(),
+                best.as_nanos(),
+                stats.steals,
+                stats.promotions,
+                stats.tasks_created
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"rt_scaling\",\n  \"config\": {{\n    \"cores\": {cores},\n    \
+         \"heartbeat_us\": {HEARTBEAT_US},\n    \"source\": \"local-timer\",\n    \
+         \"trials\": {},\n    \"scale\": \"quick\",\n    \
+         \"worker_counts\": [1, 2, 4]\n  }},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        trials(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rt_scaling.json");
+    write_atomic(path, &json);
+    println!("rt_scaling: wrote {path}");
+}

@@ -25,6 +25,7 @@
 
 use criterion::{criterion_group, Criterion, Throughput};
 
+use tpal_bench::write_atomic;
 use tpal_ir::lower::{lower, Mode};
 use tpal_sim::{ExecTier, Policy, Sim, SimConfig, SimRef};
 use tpal_workloads::{workload, Scale};
@@ -147,15 +148,6 @@ fn check_equivalence() {
         (ratio - 1.0) * 100.0,
         (SMOKE_MAX_THREADED_SLOWDOWN - 1.0) * 100.0
     );
-}
-
-/// Writes `contents` to `path` atomically: temp file in the same
-/// directory, then rename, so a reader (or an interrupted run) never
-/// observes a half-written record.
-fn write_atomic(path: &str, contents: &str) {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, contents).expect("write bench record temp file");
-    std::fs::rename(&tmp, path).expect("rename bench record into place");
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {

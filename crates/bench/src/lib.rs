@@ -71,6 +71,16 @@ pub fn sim_serial_time(spec: &SimSpec) -> u64 {
     run_sim(spec, Mode::Serial, SimConfig::serial()).time
 }
 
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, then rename, so a reader (or an interrupted run) never
+/// observes a half-written record. Used by every bench that persists a
+/// `BENCH_*.json` record at the repo root.
+pub fn write_atomic(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).expect("write bench record temp file");
+    std::fs::rename(&tmp, path).expect("rename bench record into place");
+}
+
 /// Geometric mean of a slice of ratios.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

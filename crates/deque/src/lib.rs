@@ -11,6 +11,8 @@
 //! * [`chase_lev`] — the lock-free Chase–Lev dynamic circular deque
 //!   (Chase & Lev, SPAA 2005, with the C11 memory orderings of Lê et al.,
 //!   PPoPP 2013). This is what the runtimes use.
+//! * [`injector`] — a lock-free segmented MPMC queue (SegQueue-style)
+//!   for external job submissions: the runtime's global injector.
 //! * [`mutex_deque`] — a trivially-correct mutex-protected deque with the
 //!   same interface, used as the oracle in differential and stress tests.
 //!
@@ -32,6 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod chase_lev;
+pub mod injector;
 pub mod mutex_deque;
 
 pub use chase_lev::{deque, Steal, Stealer, Worker};
+pub use injector::{CachePadded, Injector};

@@ -38,6 +38,16 @@ pub(crate) fn calibrate_ticks_per_us() -> u64 {
     (ticks / us).max(1)
 }
 
+/// The process-wide calibration result. The 5ms sleep in
+/// [`calibrate_ticks_per_us`] is paid once per process, not once per
+/// [`Runtime`](crate::Runtime) construction — repeated pool creation
+/// (tests, serve-style request loops) gets the cached value.
+pub(crate) fn ticks_per_us() -> u64 {
+    use std::sync::OnceLock;
+    static CALIBRATED: OnceLock<u64> = OnceLock::new();
+    *CALIBRATED.get_or_init(calibrate_ticks_per_us)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +62,16 @@ mod tests {
     #[test]
     fn calibration_positive() {
         assert!(calibrate_ticks_per_us() >= 1);
+    }
+
+    #[test]
+    fn cached_calibration_is_stable_and_fast() {
+        let first = ticks_per_us();
+        assert!(first >= 1);
+        let t = std::time::Instant::now();
+        let second = ticks_per_us();
+        assert_eq!(first, second);
+        // The cached path must not re-run the 5ms calibration sleep.
+        assert!(t.elapsed() < Duration::from_millis(5));
     }
 }

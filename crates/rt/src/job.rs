@@ -6,7 +6,7 @@
 //! stack frame dies, the same discipline `rayon::scope` relies on. The
 //! unsafety is confined to this module and `parallel.rs`.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
 use crate::pool::WorkerCtx;
 
@@ -62,6 +62,119 @@ impl CountLatch {
 
     pub(crate) fn is_clear(&self) -> bool {
         self.pending.load(Ordering::Acquire) == 0
+    }
+}
+
+/// A one-shot completion latch for an external waiter: the submitting
+/// thread blocks in [`ResultLatch::wait`] (atomic check + `park`, no
+/// mutex or condvar) until a worker calls [`ResultLatch::set`]. Any
+/// data the setter published before `set` is visible to the waiter
+/// after `wait` returns (release store / acquire load pairing).
+///
+/// Park/unpark token semantics make the protocol race-free: if `set`
+/// runs before the waiter parks, the stashed unpark token makes the
+/// next `park` return immediately; spurious park returns re-check the
+/// flag.
+#[derive(Debug)]
+pub(crate) struct ResultLatch {
+    done: AtomicU32,
+    waiter: std::thread::Thread,
+}
+
+impl ResultLatch {
+    /// A latch whose waiter is the **current** thread (the only thread
+    /// that may call [`ResultLatch::wait`]).
+    pub(crate) fn new() -> Self {
+        ResultLatch {
+            done: AtomicU32::new(0),
+            waiter: std::thread::current(),
+        }
+    }
+
+    /// Releases the latch (callable from any thread, at most once).
+    pub(crate) fn set(&self) {
+        self.done.store(1, Ordering::Release);
+        self.waiter.unpark();
+    }
+
+    /// Whether the latch has been released.
+    pub(crate) fn is_set(&self) -> bool {
+        self.done.load(Ordering::Acquire) == 1
+    }
+
+    /// Blocks the constructing thread until the latch is released.
+    pub(crate) fn wait(&self) {
+        while !self.is_set() {
+            std::thread::park();
+        }
+    }
+}
+
+/// A lock-free accumulation list (Treiber stack) for reduction
+/// partials: chunk tasks push their partial result with one CAS; the
+/// initiating worker drains after its count latch clears. Order is
+/// arbitrary — callers must combine with an associative **and
+/// commutative** merge, which `reduce` already requires.
+#[derive(Debug)]
+pub(crate) struct PartialStack<T> {
+    head: AtomicPtr<PartialNode<T>>,
+}
+
+struct PartialNode<T> {
+    value: T,
+    next: *mut PartialNode<T>,
+}
+
+// SAFETY: values are moved in before the publishing CAS (release) and
+// moved out only by the exclusive drain (`&mut`) or Drop.
+unsafe impl<T: Send> Send for PartialStack<T> {}
+unsafe impl<T: Send> Sync for PartialStack<T> {}
+
+impl<T> PartialStack<T> {
+    pub(crate) fn new() -> Self {
+        PartialStack {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Pushes one partial; lock-free from any worker.
+    pub(crate) fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(PartialNode {
+            value,
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Relaxed);
+            // SAFETY: `node` is unpublished; we still own it.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Takes every pushed value (exclusive access ends the race window;
+    /// the caller synchronizes via its completion latch first).
+    pub(crate) fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut p = self.head.swap(std::ptr::null_mut(), Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: detached exclusively-owned chain.
+            let node = unsafe { Box::from_raw(p) };
+            out.push(node.value);
+            p = node.next;
+        }
+        out
+    }
+}
+
+impl<T> Drop for PartialStack<T> {
+    fn drop(&mut self) {
+        self.drain();
     }
 }
 
@@ -131,5 +244,159 @@ mod tests {
         assert_eq!(s.get(), latent_state::PROMOTED);
         s.set_done();
         assert_eq!(s.get(), latent_state::DONE);
+    }
+
+    #[test]
+    fn partial_stack_collects_all_pushes() {
+        let mut s = PartialStack::new();
+        for i in 0..100 {
+            s.push(i);
+        }
+        let mut got = s.drain();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(s.drain().is_empty());
+    }
+
+    #[test]
+    fn partial_stack_concurrent_pushes() {
+        let s = std::sync::Arc::new(PartialStack::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        s.push(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut s = std::sync::Arc::try_unwrap(s).unwrap();
+        let mut got = s.drain();
+        got.sort_unstable();
+        assert_eq!(got, (0..4_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_stack_drop_frees_unconsumed() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let s = PartialStack::new();
+            s.push(D);
+            s.push(D);
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn result_latch_set_before_wait() {
+        let l = ResultLatch::new();
+        assert!(!l.is_set());
+        l.set();
+        assert!(l.is_set());
+        l.wait(); // already set: returns immediately
+    }
+
+    #[test]
+    fn result_latch_cross_thread() {
+        for _ in 0..50 {
+            let l = std::sync::Arc::new(ResultLatch::new());
+            let data = std::sync::Arc::new(AtomicU32::new(0));
+            let (l2, d2) = (std::sync::Arc::clone(&l), std::sync::Arc::clone(&data));
+            let h = std::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                l2.set();
+            });
+            l.wait();
+            // The release/acquire pairing publishes the setter's writes.
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+            h.join().unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Property coverage for the latches (ISSUE 7 satellite): arbitrary
+    //! add/done interleavings never release a `CountLatch` early and
+    //! always release it at zero; a `ResultLatch` is released exactly by
+    //! its single `set`, never before.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Drive a CountLatch through an arbitrary interleaving of adds
+        /// (tasks published) and dones (tasks finished), with dones
+        /// never outrunning adds — the only sequences the runtime can
+        /// produce. The latch must read clear exactly when the running
+        /// balance is zero.
+        #[test]
+        fn count_latch_releases_exactly_at_zero(
+            ops in proptest::collection::vec((any::<bool>(), 1u32..4), 0..64)
+        ) {
+            let latch = CountLatch::new();
+            let mut outstanding: u64 = 0;
+            for (is_add, n) in ops {
+                if is_add {
+                    latch.add(n);
+                    outstanding += u64::from(n);
+                } else if outstanding > 0 {
+                    latch.done();
+                    outstanding -= 1;
+                }
+                prop_assert_eq!(
+                    latch.is_clear(),
+                    outstanding == 0,
+                    "latch must be clear iff no task is outstanding"
+                );
+            }
+            // Drain: the latch always releases once every done arrives.
+            while outstanding > 0 {
+                prop_assert!(!latch.is_clear(), "released early");
+                latch.done();
+                outstanding -= 1;
+            }
+            prop_assert!(latch.is_clear(), "failed to release at zero");
+        }
+
+        /// A ResultLatch observed through an arbitrary probe schedule:
+        /// never set before `set`, always set after, including when the
+        /// setter races the waiter across threads.
+        #[test]
+        fn result_latch_never_releases_early(
+            probes_before in 0usize..8,
+            probes_after in 0usize..8,
+            cross_thread in any::<bool>(),
+        ) {
+            let latch = std::sync::Arc::new(ResultLatch::new());
+            for _ in 0..probes_before {
+                prop_assert!(!latch.is_set(), "released before set");
+            }
+            if cross_thread {
+                let l2 = std::sync::Arc::clone(&latch);
+                let h = std::thread::spawn(move || l2.set());
+                latch.wait();
+                h.join().unwrap();
+            } else {
+                latch.set();
+            }
+            for _ in 0..=probes_after {
+                prop_assert!(latch.is_set(), "set did not release");
+            }
+        }
     }
 }

@@ -14,11 +14,9 @@ use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::sync::atomic::Ordering;
 
-use parking_lot::Mutex;
-
 use tpal_trace::EventKind;
 
-use crate::job::{latent_state, CountLatch, Job, LatentState};
+use crate::job::{latent_state, CountLatch, Job, LatentState, PartialStack};
 use crate::pool::{LatentSlot, WorkerCtx};
 
 impl WorkerCtx<'_> {
@@ -84,8 +82,10 @@ impl WorkerCtx<'_> {
     /// whether to attempt a promotion. Returns whether one happened.
     pub fn poll_promote(&self) -> bool {
         let beat = self.heartbeat_due();
+        // Counter increments land on this worker's private shard: no
+        // shared cache line on the poll/promotion path.
         if beat {
-            let c = &self.shared.counters;
+            let c = self.shared.counters.shard(self.id);
             c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
             self.shared
                 .trace_event(self.id, EventKind::HeartbeatServiced);
@@ -93,7 +93,7 @@ impl WorkerCtx<'_> {
         if !self.attempt_promotion(beat) {
             return false;
         }
-        let c = &self.shared.counters;
+        let c = self.shared.counters.shard(self.id);
         if self.promote_oldest_latent() {
             c.promotions.fetch_add(1, Ordering::Relaxed);
             c.tasks_created.fetch_add(1, Ordering::Relaxed);
@@ -221,7 +221,10 @@ impl WorkerCtx<'_> {
         }
         struct Ctl<T, B, M> {
             pending: CountLatch,
-            partials: Mutex<Vec<T>>,
+            /// Lock-free partial-result accumulation (Treiber stack):
+            /// sound because `merge` is required to be associative and
+            /// commutative, so arbitrary arrival order is fine.
+            partials: PartialStack<T>,
             identity: T,
             body: B2<B>,
             merge: B2<M>,
@@ -259,7 +262,7 @@ impl WorkerCtx<'_> {
                 let chunk = unsafe { Box::from_raw(data as *mut Chunk<T, B, M>) };
                 let ctl = unsafe { &*chunk.ctl };
                 let t = run_chunk(ctx, ctl, chunk.lo, chunk.hi);
-                ctl.partials.lock().push(t);
+                ctl.partials.push(t);
                 ctl.pending.done();
             }
 
@@ -275,7 +278,7 @@ impl WorkerCtx<'_> {
                 let stride = ctx.shared.poll_stride;
                 let beat = ctx.heartbeat_due();
                 if beat {
-                    let c = &ctx.shared.counters;
+                    let c = ctx.shared.counters.shard(ctx.id);
                     c.heartbeats_serviced.fetch_add(1, Ordering::Relaxed);
                     ctx.shared.trace_event(ctx.id, EventKind::HeartbeatServiced);
                 }
@@ -285,7 +288,7 @@ impl WorkerCtx<'_> {
                 // promotions), `adaptive:τ` once per sufficiently spaced
                 // beat.
                 if ctx.attempt_promotion(beat) {
-                    let c = &ctx.shared.counters;
+                    let c = ctx.shared.counters.shard(ctx.id);
                     if ctx.promote_oldest_latent() {
                         // Outermost-first: a latent fork took the beat.
                         c.promotions.fetch_add(1, Ordering::Relaxed);
@@ -334,7 +337,7 @@ impl WorkerCtx<'_> {
 
         let ctl: Ctl<T, B, M> = Ctl {
             pending: CountLatch::new(),
-            partials: Mutex::new(Vec::new()),
+            partials: PartialStack::new(),
             identity,
             body: B2(&body),
             merge: B2(&merge),
@@ -343,7 +346,8 @@ impl WorkerCtx<'_> {
         self.help_until(|| ctl.pending.is_clear());
         let merge = unsafe { &*ctl.merge.0 };
         let mut result = acc;
-        for p in ctl.partials.into_inner() {
+        let mut partials = ctl.partials;
+        for p in partials.drain() {
             result = merge(result, p);
         }
         result
@@ -400,6 +404,7 @@ impl WorkerCtx<'_> {
         entry.state.claim(latent_state::PROMOTED);
         self.shared
             .counters
+            .shard(self.id)
             .tasks_created
             .fetch_add(1, Ordering::Relaxed);
         self.shared.trace_event(

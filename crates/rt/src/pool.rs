@@ -6,23 +6,21 @@
 //! `parallel.rs`; the eager Cilk baseline (`tpal-cilk`) reuses this pool
 //! with the heartbeat source disabled.
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::cell::{RefCell, UnsafeCell};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
 use tpal_core::tier::ExecTier;
-use tpal_deque::{deque, Steal, Stealer, Worker};
+use tpal_deque::{deque, CachePadded, Injector, Steal, Stealer, Worker};
 use tpal_sched::{
     HeartbeatCell, HeartbeatSource, Policy, PromoteState, Promotion, RngEnv, SplitMix64, Victim,
     VictimPolicy,
 };
 use tpal_trace::{EventKind, SharedTracer, Trace};
 
-use crate::heartbeat::{calibrate_ticks_per_us, now_ticks};
-use crate::job::Job;
+use crate::heartbeat::{now_ticks, ticks_per_us};
+use crate::job::{Job, ResultLatch};
 use crate::stats::{Counters, RtStats};
 
 /// Configuration of a [`Runtime`].
@@ -135,16 +133,49 @@ impl RtConfig {
     }
 }
 
+/// Idle-sleep states of a worker's [`SleepCell`].
+const SLEEP_AWAKE: u32 = 0;
+const SLEEP_PARKED: u32 = 1;
+const SLEEP_NOTIFIED: u32 = 2;
+
+/// One worker's eventcount slot: the sleep state word plus the thread
+/// handle a waker unparks. Cache-line-aligned so a waker's CAS on one
+/// worker's cell never invalidates a neighbour's line.
+#[repr(align(64))]
+pub(crate) struct SleepCell {
+    state: AtomicU32,
+    thread: OnceLock<std::thread::Thread>,
+}
+
+impl SleepCell {
+    fn new() -> SleepCell {
+        SleepCell {
+            state: AtomicU32::new(SLEEP_AWAKE),
+            thread: OnceLock::new(),
+        }
+    }
+}
+
+/// Per-worker shared state, cache-line-aligned as a false-sharing
+/// audit measure: thieves read `stealer`, heartbeat sources write `hb`,
+/// and wakers write `sleep` — `repr(align(64))` on the struct plus the
+/// aligned `SleepCell` keep one worker's hot words from sharing a line
+/// with its neighbour's in the `Vec<WorkerShared>`.
+#[repr(align(64))]
 pub(crate) struct WorkerShared {
     pub stealer: Stealer<Job>,
     pub hb: HeartbeatCell,
+    pub(crate) sleep: SleepCell,
 }
 
 pub(crate) struct Shared {
     pub workers: Vec<WorkerShared>,
-    pub injector: Mutex<VecDeque<Job>>,
-    pub sleep_lock: Mutex<usize>,
-    pub sleep_cv: Condvar,
+    /// External-submission queue: lock-free MPMC (no lock on the
+    /// injector-pop leg of `find_job`).
+    pub injector: Injector<Job>,
+    /// Number of workers currently registered as parked (or about to
+    /// park). Padded: it sits on the producer's `notify` fast path.
+    pub(crate) n_sleeping: CachePadded<AtomicU64>,
     pub shutdown: AtomicBool,
     pub counters: Counters,
     pub source: HeartbeatSource,
@@ -157,7 +188,9 @@ pub(crate) struct Shared {
     pub poll_stride: usize,
     /// The interpreter tier for [`Runtime::run_program`].
     pub exec_tier: ExecTier,
-    pub rng_salt: AtomicU64,
+    /// Sweep salt drawn by `sequence`-policy thieves; padded because
+    /// concurrent thieves hammer it while stealing.
+    pub rng_salt: CachePadded<AtomicU64>,
     /// Structured event recording (None unless [`RtConfig::trace`]).
     pub tracer: Option<SharedTracer>,
     /// Timestamp origin for trace event times.
@@ -165,11 +198,65 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// Wakes sleeping workers after publishing work.
+    /// Wakes one parked worker after publishing work — the eventcount
+    /// notify side. The fast path (no one parked, i.e. every push while
+    /// the pool is busy) is one fence plus one relaxed load: no lock,
+    /// no CAS, no syscall.
+    ///
+    /// The `SeqCst` fence pairs with the sleeper's `SeqCst` registration
+    /// in `idle_wait`: either this load observes the sleeper count (and
+    /// we unpark someone), or the sleeper's registration ordered after
+    /// our fence — in which case its pre-park recheck observes the work
+    /// we published before calling `notify`. No lost wakeups either way.
+    #[inline]
     pub(crate) fn notify(&self) {
-        if *self.sleep_lock.lock() > 0 {
-            self.sleep_cv.notify_all();
+        fence(Ordering::SeqCst);
+        if self.n_sleeping.0.load(Ordering::Relaxed) == 0 {
+            return;
         }
+        self.notify_slow();
+    }
+
+    /// The slow path: claim one parked worker (PARKED→NOTIFIED) and
+    /// unpark it. Scanning is bounded by the worker count and runs only
+    /// while some worker is actually asleep.
+    #[cold]
+    fn notify_slow(&self) {
+        for w in &self.workers {
+            if w.sleep
+                .state
+                .compare_exchange(
+                    SLEEP_PARKED,
+                    SLEEP_NOTIFIED,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                if let Some(t) = w.sleep.thread.get() {
+                    t.unpark();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Wakes every worker (shutdown).
+    fn wake_all(&self) {
+        for w in &self.workers {
+            if let Some(t) = w.sleep.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Whether any queued work is currently visible: a non-empty
+    /// injector or a non-empty worker deque. Used as the sleeper's
+    /// pre-park recheck; spurious `true` costs one extra `find_job`
+    /// sweep, spurious `false` cannot happen for work published before
+    /// the sleeper registered (see `notify`).
+    fn has_visible_work(&self) -> bool {
+        !self.injector.is_empty() || self.workers.iter().any(|w| !w.stealer.is_empty())
     }
 
     /// Records one instant event on `worker`'s track, timestamped in
@@ -258,7 +345,7 @@ impl<'a> WorkerCtx<'a> {
         if let Some(job) = LOCAL_DEQUE.with(|d| d.borrow().as_ref().and_then(|w| w.pop())) {
             return Some(job);
         }
-        if let Some(job) = self.shared.injector.lock().pop_front() {
+        if let Some(job) = self.shared.injector.pop() {
             return Some(job);
         }
         let n = self.shared.workers.len();
@@ -267,7 +354,7 @@ impl<'a> WorkerCtx<'a> {
             // A fresh sweep salt per round keeps concurrent `sequence`
             // thieves spread over victims; the other policies ignore it.
             let salt = match policy {
-                Victim::Sequence => self.shared.rng_salt.fetch_add(1, Ordering::Relaxed),
+                Victim::Sequence => self.shared.rng_salt.0.fetch_add(1, Ordering::Relaxed),
                 _ => 0,
             };
             let mut rng = self.rng.borrow_mut();
@@ -279,7 +366,11 @@ impl<'a> WorkerCtx<'a> {
                 loop {
                     match self.shared.workers[v].stealer.steal() {
                         Steal::Success(job) => {
-                            self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+                            self.shared
+                                .counters
+                                .shard(self.id)
+                                .steals
+                                .fetch_add(1, Ordering::Relaxed);
                             self.shared
                                 .trace_event(self.id, EventKind::Steal { victim: v as u32 });
                             return Some(job);
@@ -339,8 +430,9 @@ impl Runtime {
     /// Creates the runtime, spawning its workers (and the ping thread,
     /// under [`HeartbeatSource::PingThread`]).
     pub fn new(config: RtConfig) -> Runtime {
-        let ticks_per_us = calibrate_ticks_per_us();
-        let interval_ticks = (config.heartbeat.as_nanos() as u64).max(1) * ticks_per_us / 1_000;
+        // Calibration is cached process-wide (a OnceLock): only the
+        // first Runtime ever constructed pays the 5ms calibration sleep.
+        let interval_ticks = (config.heartbeat.as_nanos() as u64).max(1) * ticks_per_us() / 1_000;
         let mut owners = Vec::new();
         let mut workers = Vec::new();
         for _ in 0..config.workers {
@@ -349,6 +441,7 @@ impl Runtime {
             workers.push(WorkerShared {
                 stealer: s,
                 hb: HeartbeatCell::new(),
+                sleep: SleepCell::new(),
             });
         }
         // The effective policy: `suppress_promotions` is a hard override
@@ -364,18 +457,17 @@ impl Runtime {
         };
         let shared = Arc::new(Shared {
             workers,
-            injector: Mutex::new(VecDeque::new()),
-            sleep_lock: Mutex::new(0),
-            sleep_cv: Condvar::new(),
+            injector: Injector::new(),
+            n_sleeping: CachePadded(AtomicU64::new(0)),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters: Counters::new(config.workers),
             source: config.source,
             interval_ticks: interval_ticks.max(1),
             promotion: effective.promotion,
             victim: effective.victim,
             poll_stride: config.poll_stride.max(1),
             exec_tier: config.exec_tier,
-            rng_salt: AtomicU64::new(0x9E3779B9),
+            rng_salt: CachePadded(AtomicU64::new(0x9E3779B9)),
             tracer: config.trace.then(|| {
                 SharedTracer::new(config.workers, "ticks", interval_ticks.max(1))
                     .policy(effective.label())
@@ -416,21 +508,22 @@ impl Runtime {
     }
 
     /// Runs `f` on a worker and returns its result, blocking the calling
-    /// thread until completion.
+    /// thread until completion (an atomic latch plus `park` — no mutex
+    /// or condvar on the submission/completion path).
     pub fn run<F, T>(&self, f: F) -> T
     where
         F: FnOnce(&WorkerCtx<'_>) -> T + Send,
         T: Send,
     {
         struct Root<F, T> {
-            f: Option<F>,
-            result: Mutex<Option<T>>,
-            cv: Condvar,
+            f: UnsafeCell<Option<F>>,
+            result: UnsafeCell<Option<T>>,
+            latch: ResultLatch,
         }
         let root = Root {
-            f: Some(f),
-            result: Mutex::new(None),
-            cv: Condvar::new(),
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: ResultLatch::new(),
         };
 
         unsafe fn exec<F, T>(data: *mut (), ctx: &WorkerCtx<'_>)
@@ -438,34 +531,30 @@ impl Runtime {
             F: FnOnce(&WorkerCtx<'_>) -> T + Send,
             T: Send,
         {
-            // SAFETY: `run` keeps `root` alive until the condvar fires.
+            // SAFETY: `run` keeps `root` alive until the latch releases,
+            // and the job runs exactly once, so the cells are exclusive
+            // to this execution until `set` publishes them.
             let root = unsafe { &*(data as *const Root<F, T>) };
-            // SAFETY: the job runs exactly once; `f` is present.
-            let f = unsafe {
-                (*(data as *mut Root<F, T>))
-                    .f
-                    .take()
-                    .expect("root job ran twice")
-            };
+            let f = unsafe { (*root.f.get()).take().expect("root job ran twice") };
             let t = f(ctx);
-            *root.result.lock() = Some(t);
-            root.cv.notify_all();
+            unsafe { *root.result.get() = Some(t) };
+            root.latch.set();
         }
 
         // SAFETY: `root` outlives the job (we block below until the
         // result is published).
         let job = unsafe { Job::new(&root as *const Root<F, T> as *mut (), exec::<F, T>) };
-        self.shared.injector.lock().push_back(job);
+        self.shared.injector.push(job);
         self.shared.notify();
 
-        let mut guard = root.result.lock();
-        while guard.is_none() {
-            root.cv.wait(&mut guard);
-        }
-        guard.take().expect("result published")
+        root.latch.wait();
+        // SAFETY: the released latch (acquire) publishes the result
+        // write; the job has finished touching the cells.
+        unsafe { (*root.result.get()).take().expect("result published") }
     }
 
-    /// A snapshot of the runtime's instrumentation counters.
+    /// A snapshot of the runtime's instrumentation counters (the
+    /// aggregate over every worker's shard).
     pub fn stats(&self) -> RtStats {
         let delivered: u64 = self
             .shared
@@ -474,6 +563,19 @@ impl Runtime {
             .map(|w| w.hb.delivered.load(Ordering::Relaxed))
             .sum();
         self.shared.counters.snapshot(delivered)
+    }
+
+    /// Per-worker snapshots of the sharded counters (index = worker id).
+    /// The field-wise sums equal [`Runtime::stats`] — counters are
+    /// sharded for scalability, not resampled.
+    pub fn per_worker_stats(&self) -> Vec<RtStats> {
+        let delivered: Vec<u64> = self
+            .shared
+            .workers
+            .iter()
+            .map(|w| w.hb.delivered.load(Ordering::Relaxed))
+            .collect();
+        self.shared.counters.per_worker(&delivered)
     }
 
     /// Resets the instrumentation counters (between benchmark trials).
@@ -512,7 +614,7 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.sleep_cv.notify_all();
+        self.shared.wake_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -522,25 +624,67 @@ impl Drop for Runtime {
     }
 }
 
+/// Consecutive empty `find_job` rounds spent busy-spinning (with
+/// exponentially growing spin batches) before escalating to yields.
+const IDLE_SPIN_ROUNDS: u32 = 6;
+/// Further rounds spent yielding the CPU before parking.
+const IDLE_YIELD_ROUNDS: u32 = 4;
+
+/// One step of the idle protocol: bounded spin with exponential backoff,
+/// then yields, then an eventcount park. Returns the updated round
+/// counter (reset by the caller when work is found).
+///
+/// The park leg is the sleeper side of the eventcount: publish PARKED,
+/// bump the sleeper count (both `SeqCst`, pairing with `notify`'s
+/// fence), then re-check for work that may have been pushed before we
+/// registered — only park if the world is still empty. `park_timeout`
+/// (rather than `park`) keeps the pool self-healing against any missed
+/// edge (and bounds shutdown latency), but wakeups are normally
+/// edge-triggered by `notify`.
+fn idle_wait(shared: &Shared, id: usize, rounds: u32) -> u32 {
+    if rounds < IDLE_SPIN_ROUNDS {
+        for _ in 0..(1u32 << rounds) {
+            std::hint::spin_loop();
+        }
+    } else if rounds < IDLE_SPIN_ROUNDS + IDLE_YIELD_ROUNDS {
+        std::thread::yield_now();
+    } else {
+        let cell = &shared.workers[id].sleep;
+        cell.state.store(SLEEP_PARKED, Ordering::SeqCst);
+        shared.n_sleeping.0.fetch_add(1, Ordering::SeqCst);
+        if !shared.shutdown.load(Ordering::Acquire) && !shared.has_visible_work() {
+            std::thread::park_timeout(Duration::from_micros(200));
+        }
+        shared.n_sleeping.0.fetch_sub(1, Ordering::SeqCst);
+        // Overwriting a NOTIFIED claim is fine: we are awake and about
+        // to sweep for work; at worst a stashed unpark token makes one
+        // future park return early.
+        cell.state.store(SLEEP_AWAKE, Ordering::Release);
+        return rounds;
+    }
+    rounds + 1
+}
+
 fn worker_main(shared: Arc<Shared>, id: usize, owner: Worker<Job>) {
     LOCAL_DEQUE.with(|d| *d.borrow_mut() = Some(owner));
     let ctx = WorkerCtx::new(&shared, id);
     shared.workers[id]
+        .sleep
+        .thread
+        .set(std::thread::current())
+        .expect("worker sleep cell initialised once");
+    shared.workers[id]
         .hb
         .arm(shared.interval_ticks, now_ticks());
 
+    let mut idle_rounds = 0u32;
     while !shared.shutdown.load(Ordering::Acquire) {
         match ctx.find_job() {
-            Some(job) => job.run(&ctx),
-            None => {
-                // Brief sleep; woken by pushes.
-                let mut sleepers = shared.sleep_lock.lock();
-                *sleepers += 1;
-                shared
-                    .sleep_cv
-                    .wait_for(&mut sleepers, Duration::from_micros(200));
-                *sleepers -= 1;
+            Some(job) => {
+                idle_rounds = 0;
+                job.run(&ctx);
             }
+            None => idle_rounds = idle_wait(&shared, id, idle_rounds),
         }
     }
     LOCAL_DEQUE.with(|d| *d.borrow_mut() = None);

@@ -134,6 +134,7 @@ fn run_program_on(
                 stats.heartbeats += 1;
                 ctx.shared
                     .counters
+                    .shard(ctx.id)
                     .heartbeats_serviced
                     .fetch_add(1, Ordering::Relaxed);
                 ctx.shared.trace_event(ctx.id, EventKind::HeartbeatServiced);
@@ -159,6 +160,7 @@ fn run_program_on(
                         stats.promotions += 1;
                         ctx.shared
                             .counters
+                            .shard(ctx.id)
                             .promotions
                             .fetch_add(1, Ordering::Relaxed);
                         ctx.shared
@@ -179,6 +181,7 @@ fn run_program_on(
                         stats.forks += 1;
                         ctx.shared
                             .counters
+                            .shard(ctx.id)
                             .tasks_created
                             .fetch_add(1, Ordering::Relaxed);
                         queue.push_back(*child);

@@ -2,13 +2,19 @@
 //!
 //! The counter types migrated to `tpal-trace` (the shared trace layer),
 //! so the simulator-side metrics and the native runtime read the same
-//! definitions; this module keeps the runtime's historical names.
+//! definitions; this module keeps the runtime's historical names. The
+//! runtime uses the **sharded** layout: each worker increments only its
+//! own cache-line-aligned shard (`counters.shard(ctx.id)`), so no
+//! steady-state counter increment touches a line another worker writes;
+//! [`Runtime::stats`](crate::Runtime::stats) aggregates the shards and
+//! [`Runtime::per_worker_stats`](crate::Runtime::per_worker_stats)
+//! exposes them individually.
 //!
 //! Heartbeat *delivery* is counted per worker on its
-//! [`HeartbeatCell`](crate::heartbeat::HeartbeatCell); `Runtime::stats`
+//! [`HeartbeatCell`](tpal_sched::HeartbeatCell); `Runtime::stats`
 //! sums the cells into the snapshot's `heartbeats_delivered`, and
 //! `Runtime::reset_stats` must clear those cells alongside the shared
 //! counters.
 
-pub(crate) use tpal_trace::SchedCounters as Counters;
 pub use tpal_trace::SchedStats as RtStats;
+pub(crate) use tpal_trace::ShardedCounters as Counters;

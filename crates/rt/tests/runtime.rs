@@ -257,6 +257,94 @@ fn trace_records_scheduling_events() {
 }
 
 #[test]
+fn per_worker_stats_sum_to_aggregate() {
+    // The sharded counters must be a partition, not a resample: the
+    // field-wise sum of `per_worker_stats` equals `stats` exactly.
+    let rt = rt(3, HeartbeatSource::LocalTimer, 50);
+    let n = 4_000_000usize;
+    let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+
+    let agg = rt.stats();
+    let per = rt.per_worker_stats();
+    assert_eq!(per.len(), 3);
+    assert_eq!(
+        per.iter().map(|s| s.promotions).sum::<u64>(),
+        agg.promotions
+    );
+    assert_eq!(
+        per.iter().map(|s| s.tasks_created).sum::<u64>(),
+        agg.tasks_created
+    );
+    assert_eq!(per.iter().map(|s| s.steals).sum::<u64>(), agg.steals);
+    assert_eq!(
+        per.iter().map(|s| s.heartbeats_serviced).sum::<u64>(),
+        agg.heartbeats_serviced
+    );
+    assert!(agg.tasks_created > 0, "workload should promote: {agg:?}");
+
+    // Reset clears every shard.
+    rt.reset_stats();
+    for s in rt.per_worker_stats() {
+        assert_eq!(s.tasks_created, 0);
+        assert_eq!(s.steals, 0);
+    }
+}
+
+#[test]
+fn report_per_worker_totals_match_counters() {
+    // MetricsReport's per-core steal/promotion tallies (derived from the
+    // trace) must sum to the counter-shard totals for traced events.
+    let rt = Runtime::new(
+        RtConfig::default()
+            .workers(2)
+            .source(HeartbeatSource::LocalTimer)
+            .heartbeat(Duration::from_micros(50))
+            .trace(true),
+    );
+    let n = 4_000_000usize;
+    let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    let stats = rt.stats();
+    let trace = rt.take_trace().expect("tracing enabled");
+    let report = tpal_trace::MetricsReport::from_trace(&trace);
+    assert_eq!(report.per_core_promotions.len(), 2);
+    assert_eq!(
+        report.per_core_promotions.iter().sum::<u64>(),
+        stats.promotions
+    );
+    assert_eq!(report.per_core_steals.iter().sum::<u64>(), stats.steals);
+}
+
+#[test]
+fn concurrent_external_submitters() {
+    // Many external threads calling `run` concurrently hammer the
+    // lock-free injector, the result latch, and the eventcount wake
+    // protocol at once. Every submission must complete with the right
+    // answer, none lost, none doubled.
+    let rt = std::sync::Arc::new(crate::rt(4, HeartbeatSource::LocalTimer, 50));
+    let submitters = 6usize;
+    let rounds = 40usize;
+    let handles: Vec<_> = (0..submitters)
+        .map(|t| {
+            let rt = std::sync::Arc::clone(&rt);
+            std::thread::spawn(move || {
+                for r in 0..rounds {
+                    let n = 10_000 + t * 1_000 + r;
+                    let total = rt.run(move |ctx| {
+                        ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b)
+                    });
+                    assert_eq!(total, (n as u64 - 1) * n as u64 / 2, "t{t} r{r}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
 fn many_workers_oversubscribed() {
     // More workers than cores (this machine has one): correctness must
     // not depend on real parallelism.

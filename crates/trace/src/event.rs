@@ -1,9 +1,9 @@
 //! The event vocabulary and the two recorders (single-threaded builder
 //! for the simulator, shared multi-producer tracer for the runtime).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Identifier of a task within one trace. The initial task is 0; every
 /// fork and every join resolution (merge or completion) allocates a
@@ -244,27 +244,99 @@ impl TraceBuilder {
     }
 }
 
+/// Events per allocated chunk of a [`SharedTracer`] track.
+const CHUNK: usize = 256;
+
+/// Slot lifecycle in a tracer chunk: claimed-but-unwritten, published,
+/// drained by a collect.
+const SLOT_PENDING: u32 = 0;
+const SLOT_READY: u32 = 1;
+const SLOT_COLLECTED: u32 = 2;
+
+struct EventSlot {
+    state: AtomicU32,
+    ev: UnsafeCell<MaybeUninit<TraceEvent>>,
+}
+
+/// One chunk of a track's append-only event log. `claimed` hands out
+/// slot indices by fetch-add (it may overshoot `CHUNK`; overshooting
+/// claimants install or adopt the next chunk and retry there).
+struct EventChunk {
+    /// The previously filled chunk (older events); fixed before this
+    /// chunk is published.
+    prev: *mut EventChunk,
+    claimed: AtomicUsize,
+    slots: Box<[EventSlot]>,
+}
+
+impl EventChunk {
+    fn alloc(prev: *mut EventChunk) -> *mut EventChunk {
+        let slots = (0..CHUNK)
+            .map(|_| EventSlot {
+                state: AtomicU32::new(SLOT_PENDING),
+                ev: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Box::into_raw(Box::new(EventChunk {
+            prev,
+            claimed: AtomicUsize::new(0),
+            slots,
+        }))
+    }
+}
+
+/// A track's chunk-list head, padded so adjacent tracks' heads (and the
+/// owner-worker fetch-adds behind them) never share a cache line.
+#[repr(align(64))]
+struct TrackRow {
+    head: AtomicPtr<EventChunk>,
+}
+
 /// Multi-producer trace recorder (the native runtime's): per-worker
-/// buffers behind uncontended mutexes — each buffer is pushed to almost
-/// exclusively by its owning worker; the cross-thread cases are the
-/// ping thread marking deliveries and the final collection.
-#[derive(Debug)]
+/// chunked append-only logs, **lock-free on every record**. Each track
+/// is a linked list of fixed-size chunks; a record claims a slot with
+/// one `fetch_add` on the newest chunk (uncontended in the steady state
+/// — each worker appends to its own track; the ping thread appending
+/// delivery instants to a worker's track is the rare multi-producer
+/// case the same protocol already covers) and publishes it with one
+/// release store. Chunks are retained until the tracer is dropped, so
+/// collection never races reclamation; [`SharedTracer::collect`] merges
+/// each track by the global sequence number.
 pub struct SharedTracer {
     time_unit: &'static str,
     heartbeat: u64,
     policy: String,
-    bufs: Vec<Mutex<Vec<TraceEvent>>>,
+    rows: Vec<TrackRow>,
     next_seq: AtomicU64,
 }
 
+// SAFETY: chunk slots are published with release stores after their
+// `UnsafeCell` write and consumed behind an acquire CAS that each slot
+// can win exactly once; chunks are only freed by `Drop` (`&mut self`).
+unsafe impl Send for SharedTracer {}
+unsafe impl Sync for SharedTracer {}
+
+impl std::fmt::Debug for SharedTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTracer")
+            .field("tracks", &self.rows.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
 impl SharedTracer {
-    /// A tracer with `tracks` empty per-worker buffers.
+    /// A tracer with `tracks` empty per-worker logs.
     pub fn new(tracks: usize, time_unit: &'static str, heartbeat: u64) -> SharedTracer {
         SharedTracer {
             time_unit,
             heartbeat,
             policy: String::new(),
-            bufs: (0..tracks).map(|_| Mutex::new(Vec::new())).collect(),
+            rows: (0..tracks)
+                .map(|_| TrackRow {
+                    head: AtomicPtr::new(EventChunk::alloc(std::ptr::null_mut())),
+                })
+                .collect(),
             next_seq: AtomicU64::new(0),
         }
     }
@@ -275,32 +347,105 @@ impl SharedTracer {
         self
     }
 
-    /// Records one event on `track`.
+    /// Records one event on `track`. Lock-free; safe from any thread.
     #[inline]
     pub fn record(&self, track: usize, ts: u64, dur: u64, kind: EventKind) {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        self.bufs[track]
-            .lock()
-            .push(TraceEvent { seq, ts, dur, kind });
+        let row = &self.rows[track];
+        loop {
+            let chunk_ptr = row.head.load(Ordering::Acquire);
+            // SAFETY: chunks are never freed while the tracer is live.
+            let chunk = unsafe { &*chunk_ptr };
+            let i = chunk.claimed.fetch_add(1, Ordering::Relaxed);
+            if i < CHUNK {
+                let slot = &chunk.slots[i];
+                // SAFETY: the fetch_add gave us index `i` exclusively.
+                unsafe { (*slot.ev.get()).write(TraceEvent { seq, ts, dur, kind }) };
+                slot.state.store(SLOT_READY, Ordering::Release);
+                return;
+            }
+            // Chunk exhausted: install a fresh one (or adopt a racer's)
+            // and retry. This is the once-per-CHUNK growth path.
+            let fresh = EventChunk::alloc(chunk_ptr);
+            if row
+                .head
+                .compare_exchange(chunk_ptr, fresh, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // SAFETY: `fresh` never escaped; we still own it.
+                drop(unsafe { Box::from_raw(fresh) });
+            }
+        }
     }
 
-    /// Drains every buffer into a [`Trace`], naming tracks `worker 0`,
-    /// `worker 1`, … Events recorded after collection begins may land in
-    /// either this trace or the next.
+    /// Drains every published event into a [`Trace`], naming tracks
+    /// `worker 0`, `worker 1`, … and sorting each track by the global
+    /// sequence number (concurrent producers may publish out of claim
+    /// order). Events recorded after collection begins may land in
+    /// either this trace or the next; drained slots are never reused.
     pub fn collect(&self) -> Trace {
         Trace {
             time_unit: self.time_unit,
             heartbeat: self.heartbeat,
             policy: self.policy.clone(),
             tracks: self
-                .bufs
+                .rows
                 .iter()
                 .enumerate()
-                .map(|(i, buf)| Track {
-                    name: format!("worker {i}"),
-                    events: std::mem::take(&mut *buf.lock()),
+                .map(|(i, row)| {
+                    // Walk newest→oldest, then drain oldest-first so the
+                    // common case needs no post-sort reshuffling.
+                    let mut chain = Vec::new();
+                    let mut p = row.head.load(Ordering::Acquire);
+                    while !p.is_null() {
+                        chain.push(p);
+                        // SAFETY: live until Drop; prev fixed pre-publish.
+                        p = unsafe { (*p).prev };
+                    }
+                    let mut events = Vec::new();
+                    for &chunk_ptr in chain.iter().rev() {
+                        // SAFETY: as above.
+                        let chunk = unsafe { &*chunk_ptr };
+                        let n = chunk.claimed.load(Ordering::Acquire).min(CHUNK);
+                        for slot in &chunk.slots[..n] {
+                            if slot
+                                .state
+                                .compare_exchange(
+                                    SLOT_READY,
+                                    SLOT_COLLECTED,
+                                    Ordering::AcqRel,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                // SAFETY: READY (acquire) published the
+                                // write; the CAS wins at most once.
+                                events.push(unsafe { (*slot.ev.get()).assume_init() });
+                            }
+                        }
+                    }
+                    events.sort_unstable_by_key(|e| e.seq);
+                    Track {
+                        name: format!("worker {i}"),
+                        events,
+                    }
                 })
                 .collect(),
+        }
+    }
+}
+
+impl Drop for SharedTracer {
+    fn drop(&mut self) {
+        for row in &self.rows {
+            let mut p = row.head.load(Ordering::Relaxed);
+            while !p.is_null() {
+                // SAFETY: `&mut self` means no concurrent record/collect;
+                // the chain is ours to free (TraceEvent is Copy).
+                let prev = unsafe { (*p).prev };
+                drop(unsafe { Box::from_raw(p) });
+                p = prev;
+            }
         }
     }
 }
@@ -333,6 +478,59 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.tracks[1].name, "worker 1");
         assert!(tr.collect().is_empty(), "collect drains");
+    }
+
+    #[test]
+    fn shared_tracer_crosses_chunk_boundaries() {
+        let tr = SharedTracer::new(1, "ticks", 0);
+        let n = 3 * CHUNK + 17;
+        for i in 0..n as u64 {
+            tr.record(0, i, 0, EventKind::HeartbeatDelivered);
+        }
+        let t = tr.collect();
+        assert_eq!(t.len(), n);
+        // In-order single-producer: seq and ts both monotone.
+        for (i, e) in t.tracks[0].events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.ts, i as u64);
+        }
+        assert!(tr.collect().is_empty(), "collect drains");
+    }
+
+    #[test]
+    fn shared_tracer_concurrent_producers_lose_nothing() {
+        // Several threads hammer the same two tracks (the worker + ping
+        // thread shape, amplified): every recorded event must come back
+        // exactly once, sorted by seq within its track.
+        let tr = std::sync::Arc::new(SharedTracer::new(2, "ticks", 0));
+        let threads = 4;
+        let per_thread = 2_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let tr = std::sync::Arc::clone(&tr);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        tr.record(t % 2, i as u64, 0, EventKind::Steal { victim: t as u32 });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = tr.collect();
+        assert_eq!(t.len(), threads * per_thread);
+        let mut seqs: Vec<u64> = t
+            .tracks
+            .iter()
+            .flat_map(|tr| tr.events.iter().map(|e| e.seq))
+            .collect();
+        seqs.sort_unstable();
+        let expect: Vec<u64> = (0..(threads * per_thread) as u64).collect();
+        assert_eq!(seqs, expect, "every seq exactly once");
+        for track in &t.tracks {
+            assert!(track.events.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
     }
 
     #[test]

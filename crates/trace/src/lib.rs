@@ -50,7 +50,7 @@ pub mod json;
 pub mod profile;
 pub mod report;
 
-pub use counters::{SchedCounters, SchedStats};
+pub use counters::{CounterShard, SchedCounters, SchedStats, ShardedCounters};
 pub use event::{
     EventKind, OverheadKind, SharedTracer, TaskId, Trace, TraceBuilder, TraceEvent, Track,
 };

@@ -54,6 +54,14 @@ pub struct MetricsReport {
     pub makespan: u64,
     /// Activity totals per core, indexed like `trace.tracks`.
     pub per_core: Vec<CoreActivity>,
+    /// Successful steals landed per core (thief side), indexed like
+    /// `trace.tracks`. Sums to [`MetricsReport::steals`] — on the native
+    /// runtime this mirrors the per-worker counter shards, keeping the
+    /// sharded counters observable end-to-end.
+    pub per_core_steals: Vec<u64>,
+    /// Promotions performed per core, indexed like `trace.tracks`.
+    /// Sums to [`MetricsReport::promotions`].
+    pub per_core_promotions: Vec<u64>,
     /// Overhead cycles broken down by [`OverheadKind`], indexed
     /// Fork/Steal/Join/Interrupt.
     pub overhead_by_kind: [u64; 4],
@@ -84,6 +92,8 @@ impl MetricsReport {
             policy: trace.policy.clone(),
             makespan: trace.makespan(),
             per_core: vec![CoreActivity::default(); trace.tracks.len()],
+            per_core_steals: vec![0; trace.tracks.len()],
+            per_core_promotions: vec![0; trace.tracks.len()],
             overhead_by_kind: [0; 4],
             tasks_created: 0,
             promotions: 0,
@@ -104,10 +114,16 @@ impl MetricsReport {
                     }
                     EventKind::Idle => r.per_core[core].idle += e.dur,
                     EventKind::TaskSpawn { .. } => r.tasks_created += 1,
-                    EventKind::TaskPromote { .. } => r.promotions += 1,
+                    EventKind::TaskPromote { .. } => {
+                        r.promotions += 1;
+                        r.per_core_promotions[core] += 1;
+                    }
                     EventKind::HeartbeatDelivered => r.heartbeats_delivered += 1,
                     EventKind::HeartbeatServiced => r.heartbeats_serviced += 1,
-                    EventKind::Steal { .. } => r.steals += 1,
+                    EventKind::Steal { .. } => {
+                        r.steals += 1;
+                        r.per_core_steals[core] += 1;
+                    }
                     EventKind::JoinStash { .. } => r.join_stashes += 1,
                     EventKind::JoinMerge { .. } => r.join_merges += 1,
                     EventKind::JoinContinue { .. } => r.join_continues += 1,
@@ -223,11 +239,13 @@ impl MetricsReport {
         for (i, c) in self.per_core.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "  core {i}: work {} / overhead {} / idle {}  ({:.1}%)",
+                "  core {i}: work {} / overhead {} / idle {}  ({:.1}%)  steals {} promotions {}",
                 c.work,
                 c.overhead,
                 c.idle,
-                100.0 * c.utilization()
+                100.0 * c.utilization(),
+                self.per_core_steals[i],
+                self.per_core_promotions[i]
             );
         }
         s
@@ -305,6 +323,10 @@ mod tests {
         assert_eq!(r.heartbeats_delivered, 2);
         assert_eq!(r.heartbeats_serviced, 1);
         assert_eq!(r.steals, 1);
+        assert_eq!(r.per_core_steals, vec![0, 1]);
+        assert_eq!(r.per_core_promotions, vec![1, 0]);
+        assert_eq!(r.per_core_steals.iter().sum::<u64>(), r.steals);
+        assert_eq!(r.per_core_promotions.iter().sum::<u64>(), r.promotions);
         assert_eq!(r.totals().total(), 80);
         assert!((r.utilization() - 0.5).abs() < 1e-12);
         assert!((r.overhead_fraction() - 6.0 / 46.0).abs() < 1e-12);
