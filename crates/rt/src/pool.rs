@@ -690,12 +690,30 @@ fn worker_main(shared: Arc<Shared>, id: usize, owner: Worker<Job>) {
     LOCAL_DEQUE.with(|d| *d.borrow_mut() = None);
 }
 
+/// Upper bound on one uninterruptible sleep slice of the ping thread.
+/// Sleeping a whole ♥ between shutdown checks would make
+/// `Runtime::drop` block for up to one full heartbeat period — with a
+/// large ♥ (a server building and dropping runtimes per tenant config)
+/// that is seconds, not milliseconds. Sub-♥ intervals still sleep their
+/// exact duration, so delivery timing below this bound is unchanged.
+const PING_SHUTDOWN_POLL: Duration = Duration::from_millis(1);
+
 fn ping_main(shared: Arc<Shared>, interval: Duration) {
     // The Linux INT-PingThread mechanism: wake every ♥ and deliver a
     // signal to each worker in turn (linear delivery; jitter comes from
     // sleep granularity, exactly the effect §4.4 measures).
-    while !shared.shutdown.load(Ordering::Acquire) {
-        std::thread::sleep(interval);
+    'deliver: while !shared.shutdown.load(Ordering::Acquire) {
+        // Sleep ♥ in bounded sub-slices so a shutdown raised mid-sleep
+        // is observed within PING_SHUTDOWN_POLL, independent of ♥.
+        let mut remaining = interval;
+        while remaining > Duration::ZERO {
+            let slice = remaining.min(PING_SHUTDOWN_POLL);
+            std::thread::sleep(slice);
+            if shared.shutdown.load(Ordering::Acquire) {
+                break 'deliver;
+            }
+            remaining = remaining.saturating_sub(slice);
+        }
         for (i, w) in shared.workers.iter().enumerate() {
             w.hb.raise();
             shared.trace_event(i, EventKind::HeartbeatDelivered);

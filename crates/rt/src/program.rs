@@ -102,12 +102,27 @@ impl Runtime {
         args: &[(&str, i64)],
     ) -> Result<ProgramOutcome, MachineError> {
         let backend = ExecBackend::new(program, self.exec_tier());
+        self.run_program_with(program, &backend, args)
+    }
+
+    /// Like [`Runtime::run_program`], but executes through a
+    /// pre-compiled backend instead of compiling one per call — the
+    /// decode-once path for services that run one validated program
+    /// many times (`tpal-serve`). The backend's tier overrides the
+    /// runtime's configured [`RtConfig::exec_tier`] for this run;
+    /// outcomes are bit-identical across tiers either way.
+    pub fn run_program_with(
+        &self,
+        program: &Program,
+        backend: &ExecBackend,
+        args: &[(&str, i64)],
+    ) -> Result<ProgramOutcome, MachineError> {
         let mut initial = TaskState::new(program, program.entry());
         for (name, value) in args {
             let reg = program.reg(name).ok_or(MachineError::UnknownName)?;
             initial.regs.write(reg, Value::Int(*value));
         }
-        self.run(move |ctx| run_program_on(ctx, program, &backend, initial))
+        self.run(move |ctx| run_program_on(ctx, program, backend, initial))
     }
 }
 

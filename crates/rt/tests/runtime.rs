@@ -353,3 +353,24 @@ fn many_workers_oversubscribed() {
     let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
     assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
 }
+
+#[test]
+fn ping_thread_runtime_drops_quickly_with_large_heartbeat() {
+    // ISSUE 8 regression: `ping_main` used to sleep a whole ♥ between
+    // shutdown checks, so dropping a PingThread runtime with a large ♥
+    // blocked for up to one full heartbeat period. With ♥ = 1s the drop
+    // must still return in milliseconds (bounded by the ping thread's
+    // shutdown-poll slice, not by ♥).
+    let rt = rt(2, HeartbeatSource::PingThread, 1_000_000); // ♥ = 1s
+    let n = 10_000usize;
+    let total = rt.run(|ctx| ctx.reduce(0..n, 0u64, |_, i, a| a + i as u64, |a, b| a + b));
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    let t = std::time::Instant::now();
+    drop(rt);
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(250),
+        "PingThread runtime drop took {elapsed:?}; shutdown latency must \
+         be bounded independent of ♥"
+    );
+}

@@ -1,0 +1,479 @@
+//! The execution engine: turns a cached program plus a [`RunSpec`] into
+//! a rendered result, dispatching onto the deterministic simulator or a
+//! shared native-runtime pool.
+//!
+//! The deterministic part of every response — registers, and on the
+//! simulator also statistics and makespan — is rendered into one
+//! canonical JSON string (`RunOutput::result`) so that replaying a
+//! token can be checked bit-for-bit by comparing strings. Observational
+//! data (native-runtime scheduling counters, wall time, traces) stays
+//! in `RunOutput::extras`, outside the comparison.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use tpal_core::machine::Value;
+use tpal_rt::{RtConfig, Runtime};
+use tpal_sim::{Sim, SimConfig};
+use tpal_trace::json::escape;
+use tpal_trace::{chrome, MetricsReport, WorkSpanProfile};
+
+use crate::cache::{CachedProgram, ProgramCache};
+use crate::spec::{RunSpec, Substrate};
+
+/// The service's flag-absent simulator instruction budget. Far below
+/// [`SimConfig`]'s own default: a shared service bounds tenant runs
+/// aggressively, and a spec can still raise it explicitly.
+pub const SERVICE_STEP_LIMIT: u64 = 200_000_000;
+
+/// Hard caps a shared service imposes on one run, whatever the spec says.
+pub const MAX_CORES: usize = 256;
+/// See [`MAX_CORES`].
+pub const MAX_RT_WORKERS: usize = 64;
+
+/// How many distinct native-runtime pools stay warm. Pools are keyed by
+/// (workers, ♥, policy); the cap bounds resident OS threads when many
+/// tenants ask for many shapes.
+const MAX_RT_POOLS: usize = 4;
+
+/// Optional report attachments for a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunInclude {
+    /// Attach the Chrome `trace_event` JSON of the scheduling trace.
+    pub trace: bool,
+    /// Attach the TASKPROF-style work/span profile.
+    pub profile: bool,
+    /// Attach the per-core metrics report (rendered text).
+    pub metrics: bool,
+}
+
+impl RunInclude {
+    fn any(self) -> bool {
+        self.trace || self.profile || self.metrics
+    }
+}
+
+/// A rendered run: the deterministic result object plus observational
+/// top-level extras.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Canonical JSON of the deterministic `result` object. Equal specs
+    /// against equal programs yield byte-equal strings — the replay
+    /// contract.
+    pub result: String,
+    /// Extra top-level response fields, already rendered as JSON
+    /// values, excluded from replay comparison (observational).
+    pub extras: Vec<(String, String)>,
+}
+
+/// How an [`Engine`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request is malformed or unsatisfiable (HTTP 400).
+    Bad(String),
+    /// A replay token names a program hash this server never compiled
+    /// (HTTP 404): tokens carry the spec but not the source text.
+    UnknownProgram(u64),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Bad(msg) => f.write_str(msg),
+            EngineError::UnknownProgram(h) => {
+                write!(
+                    f,
+                    "program {h:016x} is not in this server's cache; resubmit its source"
+                )
+            }
+        }
+    }
+}
+
+/// The shared execution engine: the decode cache plus a small set of
+/// warm native-runtime pools.
+pub struct Engine {
+    cache: ProgramCache,
+    pools: Mutex<Vec<(PoolKey, Arc<Runtime>)>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PoolKey {
+    workers: usize,
+    hb_us: u64,
+    policy: String,
+}
+
+impl Engine {
+    /// A fresh engine with an empty cache and no warm pools.
+    pub fn new() -> Engine {
+        Engine {
+            cache: ProgramCache::new(),
+            pools: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The decode cache (submission path and statistics).
+    pub fn cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Executes `spec` against a cached program, rendering the result.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Bad`] for unsatisfiable specs (zero or excessive
+    /// parallelism, unknown argument registers, runs that fault or
+    /// exceed the step budget, report attachments on the native
+    /// runtime).
+    pub fn execute(
+        &self,
+        entry: &CachedProgram,
+        spec: &RunSpec,
+        include: RunInclude,
+    ) -> Result<RunOutput, EngineError> {
+        match spec.substrate {
+            Substrate::Sim { cores, linux } => self.execute_sim(entry, spec, include, cores, linux),
+            Substrate::Rt { workers } => self.execute_rt(entry, spec, include, workers),
+        }
+    }
+
+    /// Replays a token: decodes it, fetches the program from the cache,
+    /// and re-executes the spec (no attachments — replay reproduces the
+    /// deterministic result object only).
+    pub fn replay(&self, token: &str) -> Result<(RunSpec, RunOutput), EngineError> {
+        let (hash, spec) = RunSpec::from_token(token).map_err(EngineError::Bad)?;
+        let entry = self
+            .cache
+            .lookup(hash)
+            .ok_or(EngineError::UnknownProgram(hash))?;
+        let output = self.execute(&entry, &spec, RunInclude::default())?;
+        Ok((spec, output))
+    }
+
+    fn execute_sim(
+        &self,
+        entry: &CachedProgram,
+        spec: &RunSpec,
+        include: RunInclude,
+        cores: usize,
+        linux: bool,
+    ) -> Result<RunOutput, EngineError> {
+        if cores == 0 || cores > MAX_CORES {
+            return Err(EngineError::Bad(format!(
+                "cores must be in 1..={MAX_CORES}, got {cores}"
+            )));
+        }
+        let heartbeat = spec.heartbeat.unwrap_or(3_000);
+        let mut config = if linux {
+            SimConfig::linux(cores, heartbeat)
+        } else {
+            SimConfig::nautilus(cores, heartbeat)
+        };
+        config.policy = spec.policy;
+        config.exec_tier = spec.tier;
+        config.seed = spec.seed;
+        config.step_limit = spec.step_limit.unwrap_or(SERVICE_STEP_LIMIT);
+        config.record_trace = include.any();
+        // The compiled artifact is cloned per run (a memcpy of the
+        // handler stream), not recompiled — the decode-once payoff.
+        let backend = entry.backend(spec.tier).clone();
+        let mut sim = Sim::with_backend(entry.program(), backend, config);
+        for (name, value) in &spec.sets {
+            let reg = entry.set_reg_name(name);
+            sim.set_reg(&reg, *value)
+                .map_err(|e| EngineError::Bad(format!("set {name}: {e}")))?;
+        }
+        let out = sim
+            .run()
+            .map_err(|e| EngineError::Bad(format!("simulation failed: {e}")))?;
+
+        let mut result = String::from("{");
+        result.push_str(&format!(
+            "\"registers\":{},",
+            render_registers(out.final_regs())
+        ));
+        let s = &out.stats;
+        result.push_str(&format!(
+            "\"stats\":{{\"failed_steals\":{},\"forks\":{},\"heartbeats_delivered\":{},\
+             \"idle_cycles\":{},\"instructions\":{},\"joins\":{},\"max_live_tasks\":{},\
+             \"merges\":{},\"overhead_cycles\":{},\"promotions\":{},\"steals\":{},\
+             \"work_cycles\":{}}},",
+            s.failed_steals,
+            s.forks,
+            s.heartbeats_delivered,
+            s.idle_cycles,
+            s.instructions,
+            s.joins,
+            s.max_live_tasks,
+            s.merges,
+            s.overhead_cycles,
+            s.promotions,
+            s.steals,
+            s.work_cycles,
+        ));
+        result.push_str(&format!("\"time\":{}", out.time));
+        result.push('}');
+
+        let mut extras = Vec::new();
+        if let Some(trace) = &out.trace {
+            if include.trace {
+                extras.push(("trace".to_owned(), chrome::chrome_json(trace)));
+            }
+            if include.profile {
+                let p = WorkSpanProfile::from_trace(trace);
+                extras.push((
+                    "profile".to_owned(),
+                    format!(
+                        "{{\"parallelism\":{:.3},\"span\":{},\"tasks\":{},\"work\":{}}}",
+                        p.parallelism(),
+                        p.span,
+                        p.tasks,
+                        p.work
+                    ),
+                ));
+            }
+            if include.metrics {
+                let report = MetricsReport::from_trace(trace).render();
+                extras.push(("metrics".to_owned(), format!("\"{}\"", escape(&report))));
+            }
+        }
+        Ok(RunOutput { result, extras })
+    }
+
+    fn execute_rt(
+        &self,
+        entry: &CachedProgram,
+        spec: &RunSpec,
+        include: RunInclude,
+        workers: usize,
+    ) -> Result<RunOutput, EngineError> {
+        if workers == 0 || workers > MAX_RT_WORKERS {
+            return Err(EngineError::Bad(format!(
+                "workers must be in 1..={MAX_RT_WORKERS}, got {workers}"
+            )));
+        }
+        if include.any() {
+            // Pools are shared across concurrent tenants, so a per-run
+            // trace would interleave unrelated runs; the simulator is
+            // the observability substrate.
+            return Err(EngineError::Bad(
+                "trace/profile/metrics attachments need the sim substrate".to_owned(),
+            ));
+        }
+        let hb_us = spec.heartbeat.unwrap_or(100);
+        let pool = self.pool(workers, hb_us, spec);
+        let backend = entry.backend(spec.tier);
+        let args: Vec<(String, i64)> = spec
+            .sets
+            .iter()
+            .map(|(name, v)| (entry.set_reg_name(name), *v))
+            .collect();
+        let arg_refs: Vec<(&str, i64)> = args.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let out = pool
+            .run_program_with(entry.program(), backend, &arg_refs)
+            .map_err(|e| EngineError::Bad(format!("runtime fault: {e}")))?;
+
+        // Registers are the deterministic contract on the native
+        // runtime; scheduling counters depend on real-time heartbeat
+        // arrival and stay observational.
+        let result = format!(
+            "{{\"registers\":{}}}",
+            render_int_registers(&collect_rt_regs(entry, &out))
+        );
+        let s = &out.stats;
+        let extras = vec![(
+            "rt_stats".to_owned(),
+            format!(
+                "{{\"forks\":{},\"heartbeats\":{},\"instructions\":{},\"joins\":{},\
+                 \"promotions\":{}}}",
+                s.forks, s.heartbeats, s.instructions, s.joins, s.promotions
+            ),
+        )];
+        Ok(RunOutput { result, extras })
+    }
+
+    /// Fetches (or creates) the warm pool for a native-runtime shape,
+    /// evicting the oldest pool beyond [`MAX_RT_POOLS`].
+    fn pool(&self, workers: usize, hb_us: u64, spec: &RunSpec) -> Arc<Runtime> {
+        let key = PoolKey {
+            workers,
+            hb_us,
+            policy: spec.policy.label(),
+        };
+        let mut pools = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, pool)) = pools.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(pool);
+        }
+        let config = RtConfig::default()
+            .workers(workers)
+            .heartbeat(Duration::from_micros(hb_us))
+            .policy(spec.policy);
+        let pool = Arc::new(Runtime::new(config));
+        pools.push((key, Arc::clone(&pool)));
+        if pools.len() > MAX_RT_POOLS {
+            // Dropped here only if no in-flight run still holds the Arc.
+            pools.remove(0);
+        }
+        pool
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Renders the integer-valued registers of a final register dump as a
+/// sorted JSON object.
+fn render_registers(regs: &[(String, Value)]) -> String {
+    let ints: Vec<(String, i64)> = regs
+        .iter()
+        .filter_map(|(n, v)| match v {
+            Value::Int(x) => Some((n.clone(), *x)),
+            _ => None,
+        })
+        .collect();
+    render_int_registers(&ints)
+}
+
+fn render_int_registers(regs: &[(String, i64)]) -> String {
+    let mut regs: Vec<&(String, i64)> = regs.iter().collect();
+    regs.sort();
+    let mut s = String::from("{");
+    for (i, (name, v)) in regs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{v}", escape(name)));
+    }
+    s.push('}');
+    s
+}
+
+/// The native runtime's outcome dump, filtered to integer registers.
+fn collect_rt_regs(entry: &CachedProgram, out: &tpal_rt::ProgramOutcome) -> Vec<(String, i64)> {
+    let program = entry.program();
+    let mut regs = Vec::new();
+    for i in 0..program.reg_count() {
+        let name = program
+            .reg_name(tpal_core::isa::Reg::from_index(i))
+            .to_owned();
+        if let Some(v) = out.read_reg(&name) {
+            regs.push((name, v));
+        }
+    }
+    regs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProgramSrc;
+
+    fn fib_src() -> ProgramSrc {
+        ProgramSrc::tpl(
+            "fn fib(n) {\n    if n < 2 { return n; }\n    par {\n        f1 = fib(n - 1);\n        f2 = fib(n - 2);\n    }\n    return f1 + f2;\n}\n",
+            "heartbeat",
+        )
+    }
+
+    #[test]
+    fn sim_and_rt_agree_on_registers() {
+        let engine = Engine::new();
+        let (entry, _) = engine.cache().get_or_compile(&fib_src());
+        let entry = entry.expect("fib compiles");
+        let sim_spec = RunSpec::sim(2).set("n", 10);
+        let rt_spec = RunSpec::rt(2).set("n", 10);
+        let sim = engine
+            .execute(&entry, &sim_spec, RunInclude::default())
+            .unwrap();
+        let rt = engine
+            .execute(&entry, &rt_spec, RunInclude::default())
+            .unwrap();
+        assert!(
+            sim.result.contains("\"result\":55"),
+            "fib(10) = 55 in {}",
+            sim.result
+        );
+        assert!(
+            rt.result.contains("\"result\":55"),
+            "fib(10) = 55 in {}",
+            rt.result
+        );
+    }
+
+    #[test]
+    fn sim_results_are_reproducible_strings() {
+        let engine = Engine::new();
+        let (entry, _) = engine.cache().get_or_compile(&fib_src());
+        let entry = entry.unwrap();
+        let spec = RunSpec::sim(4).set("n", 12);
+        let a = engine
+            .execute(&entry, &spec, RunInclude::default())
+            .unwrap();
+        let b = engine
+            .execute(&entry, &spec, RunInclude::default())
+            .unwrap();
+        assert_eq!(a.result, b.result, "same spec, byte-equal result");
+    }
+
+    #[test]
+    fn rt_rejects_attachments() {
+        let engine = Engine::new();
+        let (entry, _) = engine.cache().get_or_compile(&fib_src());
+        let entry = entry.unwrap();
+        let spec = RunSpec::rt(1).set("n", 5);
+        let err = engine
+            .execute(
+                &entry,
+                &spec,
+                RunInclude {
+                    trace: true,
+                    ..RunInclude::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Bad(_)));
+    }
+
+    #[test]
+    fn rt_pools_are_reused_per_shape() {
+        let engine = Engine::new();
+        let spec = RunSpec::rt(2);
+        let a = engine.pool(2, 100, &spec);
+        let b = engine.pool(2, 100, &spec);
+        assert!(Arc::ptr_eq(&a, &b), "same shape shares one pool");
+        let c = engine.pool(2, 200, &spec);
+        assert!(!Arc::ptr_eq(&a, &c), "different ♥ gets its own pool");
+    }
+
+    #[test]
+    fn replay_reproduces_a_run_bit_for_bit() {
+        let engine = Engine::new();
+        let (entry, _) = engine.cache().get_or_compile(&fib_src());
+        let entry = entry.unwrap();
+        let mut spec = RunSpec::sim(3).set("n", 11);
+        spec.heartbeat = Some(800);
+        spec.seed = 42;
+        spec.canonicalize();
+        let first = engine
+            .execute(&entry, &spec, RunInclude::default())
+            .unwrap();
+        let token = spec.token(entry.hash());
+        let (decoded, replayed) = engine.replay(&token).unwrap();
+        assert_eq!(decoded, spec);
+        assert_eq!(replayed.result, first.result);
+    }
+
+    #[test]
+    fn replay_of_unknown_program_is_a_miss() {
+        let engine = Engine::new();
+        let token = RunSpec::sim(1).token(0x1234);
+        assert!(matches!(
+            engine.replay(&token),
+            Err(EngineError::UnknownProgram(0x1234))
+        ));
+    }
+}

@@ -1,0 +1,254 @@
+//! Minimal HTTP/1.1 framing over [`std::net`] — just enough for the
+//! service's JSON protocol, with no external dependencies.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (the default in 1.1), bounded header and body sizes.
+//! Not supported, deliberately: chunked transfer, continuation lines,
+//! pipelining beyond one in-flight request per connection.
+
+use std::io::{BufRead, Read, Write};
+use std::time::Duration;
+
+/// Largest accepted request body (programs are text; 4 MiB is roomy).
+pub const MAX_BODY: usize = 4 << 20;
+/// Largest accepted header block.
+pub const MAX_HEADER: usize = 64 << 10;
+/// Socket read timeout used by connection handlers; keep-alive
+/// connections poll at this granularity so shutdown is prompt.
+pub const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request target, e.g. `/run` (query strings are not split off).
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length`).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed (or never sent a byte before EOF).
+    Closed,
+    /// The read timed out before the first byte — an idle keep-alive
+    /// connection; the caller decides whether to keep waiting.
+    Idle,
+    /// A framing violation; the connection should be closed after an
+    /// error response.
+    Malformed(String),
+}
+
+/// Reads one request from a buffered stream.
+pub fn read_request<S: BufRead>(stream: &mut S) -> ReadOutcome {
+    // Request line + headers, byte by byte up to the blank line.
+    let mut head = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-header".to_owned())
+                };
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return if head.is_empty() {
+                    ReadOutcome::Idle
+                } else {
+                    ReadOutcome::Malformed("read timeout mid-header".to_owned())
+                };
+            }
+            Err(e) => return ReadOutcome::Malformed(format!("read: {e}")),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEADER {
+            return ReadOutcome::Malformed("header block too large".to_owned());
+        }
+    }
+    let head = match std::str::from_utf8(&head) {
+        Ok(s) => s,
+        Err(_) => return ReadOutcome::Malformed("header block is not UTF-8".to_owned()),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        _ => return ReadOutcome::Malformed(format!("bad request line `{request_line}`")),
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => return ReadOutcome::Malformed("bad Content-Length".to_owned()),
+            };
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY {
+        return ReadOutcome::Malformed(format!("body larger than {MAX_BODY} bytes"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        if let Err(e) = stream.read_exact(&mut body) {
+            return ReadOutcome::Malformed(format!("body read: {e}"));
+        }
+    }
+    match String::from_utf8(body) {
+        Ok(body) => ReadOutcome::Request(Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        }),
+        Err(_) => ReadOutcome::Malformed("body is not UTF-8".to_owned()),
+    }
+}
+
+/// Writes one response. `extra_headers` are preformatted
+/// `Name: value` lines without terminators.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    extra_headers: &[String],
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A full client-side response: status code, lowercased
+/// `(name, value)` header pairs, and the body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
+/// A tiny blocking client for tests, the smoke example, and the load
+/// generator: one keep-alive connection, one request at a time.
+pub struct Client {
+    stream: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Client> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream: std::io::BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the response, returning
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure, or a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let (status, _, body) = self.request_full(method, path, body)?;
+        Ok((status, body))
+    }
+
+    /// Like [`Client::request`], but also returns the response headers
+    /// as lowercased `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Any socket failure, or a malformed response.
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<FullResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: tpal-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let raw = self.stream.get_mut();
+        raw.write_all(head.as_bytes())?;
+        raw.write_all(body.as_bytes())?;
+        raw.flush()?;
+
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+        let mut status_line = String::new();
+        self.stream.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line `{}`", status_line.trim_end())))?;
+        let mut content_length = 0usize;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.stream.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad Content-Length"))?;
+                }
+                headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, headers, b))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}

@@ -1,0 +1,405 @@
+//! Run specifications, content hashing, and deterministic replay
+//! tokens.
+//!
+//! A submitted program is identified by the FNV-1a content hash of its
+//! source text plus frontend flags (`ir`, lowering mode) — the decode
+//! cache key. A *run* is a program hash plus every knob that can change
+//! the outcome: substrate, ♥, policy, execution tier, seed, step limit,
+//! and the argument registers. The replay token is the run spec itself,
+//! canonically serialized and hex-armoured, so `GET /replay/<token>`
+//! needs no server-side registry beyond the program cache: the token
+//! alone names a bit-reproducible run.
+
+use tpal_core::tier::ExecTier;
+use tpal_sched::Policy;
+use tpal_trace::json::{escape, parse, Json};
+
+/// Incremental FNV-1a (64-bit) hasher — the dependency-free content
+/// hash behind the decode cache and replay tokens.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// A submitted program: source text plus the frontend that turns it
+/// into a validated TPAL [`tpal_core::program::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSrc {
+    /// TPAL assembly (`ir == false`) or task-parallel source
+    /// (`ir == true`).
+    pub source: String,
+    /// Whether `source` goes through the `tpal-ir` frontend.
+    pub ir: bool,
+    /// The lowering mode name (`serial`, `heartbeat`, `expanded`,
+    /// `eager`); only meaningful with `ir == true`.
+    pub mode: String,
+}
+
+impl ProgramSrc {
+    /// TPAL assembly source.
+    pub fn asm(source: impl Into<String>) -> ProgramSrc {
+        ProgramSrc {
+            source: source.into(),
+            ir: false,
+            mode: "heartbeat".to_owned(),
+        }
+    }
+
+    /// Task-parallel (`.tpl`) source, lowered in `mode`.
+    pub fn tpl(source: impl Into<String>, mode: impl Into<String>) -> ProgramSrc {
+        ProgramSrc {
+            source: source.into(),
+            ir: true,
+            mode: mode.into(),
+        }
+    }
+
+    /// The content hash identifying this program in the decode cache:
+    /// FNV-1a over the source bytes, the frontend flag, and (for IR
+    /// programs) the lowering mode. Two submissions with identical
+    /// bytes and flags share one decode.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.source.as_bytes());
+        h.write(&[0x1f, self.ir as u8]);
+        if self.ir {
+            h.write(self.mode.as_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// The execution substrate of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// The deterministic multicore simulator (`tpal-sim`): bit-for-bit
+    /// reproducible registers, statistics, and makespan from the spec
+    /// alone.
+    Sim {
+        /// Simulated core count `P`.
+        cores: usize,
+        /// Ping-thread (Linux-like) interrupt delivery instead of
+        /// per-core timers.
+        linux: bool,
+    },
+    /// The native heartbeat runtime (`tpal-rt`): real-time heartbeats,
+    /// so registers are reproducible but scheduling statistics are
+    /// observational.
+    Rt {
+        /// Worker thread count.
+        workers: usize,
+    },
+}
+
+/// Everything besides the program that determines a run's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Where the run executes.
+    pub substrate: Substrate,
+    /// The heartbeat interval ♥ in the substrate's unit (simulator:
+    /// cycles, default 3000; runtime: µs, default 100). `None` applies
+    /// the substrate default.
+    pub heartbeat: Option<u64>,
+    /// Promotion + victim policy.
+    pub policy: Policy,
+    /// Interpreter tier for straight-line execution.
+    pub tier: ExecTier,
+    /// RNG seed (simulator victim selection and delivery jitter).
+    pub seed: u64,
+    /// Instruction budget before the run is aborted (simulator runs;
+    /// `None` applies the service default).
+    pub step_limit: Option<u64>,
+    /// Argument registers, as submitted (IR parameter names are mapped
+    /// to lowered register names at execution time). Kept sorted by
+    /// name — [`RunSpec::canonicalize`].
+    pub sets: Vec<(String, i64)>,
+}
+
+impl RunSpec {
+    /// A default-config simulator run.
+    pub fn sim(cores: usize) -> RunSpec {
+        RunSpec {
+            substrate: Substrate::Sim {
+                cores,
+                linux: false,
+            },
+            heartbeat: None,
+            policy: Policy::default(),
+            tier: ExecTier::default(),
+            seed: 0xDEC0DE,
+            step_limit: None,
+            sets: Vec::new(),
+        }
+    }
+
+    /// A default-config native-runtime run (the runtime's historical
+    /// `heartbeat/sequence` policy).
+    pub fn rt(workers: usize) -> RunSpec {
+        RunSpec {
+            substrate: Substrate::Rt { workers },
+            policy: Policy::parse("heartbeat/sequence").expect("static policy label"),
+            ..RunSpec::sim(0)
+        }
+    }
+
+    /// Adds an argument register.
+    pub fn set(mut self, name: impl Into<String>, value: i64) -> RunSpec {
+        self.sets.push((name.into(), value));
+        self
+    }
+
+    /// Sorts the argument list so equal specs serialize identically.
+    pub fn canonicalize(&mut self) {
+        self.sets.sort();
+    }
+
+    /// Renders the deterministic replay token for this spec against
+    /// program `prog_hash`: `r1-` plus the hex-armoured canonical JSON
+    /// of every outcome-determining knob. Identical (program, spec)
+    /// pairs always yield identical tokens.
+    pub fn token(&self, prog_hash: u64) -> String {
+        let mut sets = self.sets.clone();
+        sets.sort();
+        let (sub, cores, linux, workers) = match self.substrate {
+            Substrate::Sim { cores, linux } => ("sim", cores, linux, 0),
+            Substrate::Rt { workers } => ("rt", 0, false, workers),
+        };
+        // Fields in fixed (alphabetical) order; integers that may
+        // exceed f64's exact range travel as hex/decimal strings.
+        let mut body = String::from("{");
+        body.push_str(&format!("\"cores\":{cores},"));
+        match self.heartbeat {
+            Some(hb) => body.push_str(&format!("\"hb\":{hb},")),
+            None => body.push_str("\"hb\":null,"),
+        }
+        body.push_str(&format!("\"linux\":{linux},"));
+        body.push_str(&format!("\"policy\":\"{}\",", escape(&self.policy.label())));
+        body.push_str(&format!("\"prog\":\"{prog_hash:016x}\","));
+        body.push_str(&format!("\"seed\":\"{:x}\",", self.seed));
+        body.push_str("\"sets\":{");
+        for (i, (name, v)) in sets.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{}\":\"{v}\"", escape(name)));
+        }
+        body.push_str("},");
+        match self.step_limit {
+            Some(sl) => body.push_str(&format!("\"sl\":\"{sl}\",")),
+            None => body.push_str("\"sl\":null,"),
+        }
+        body.push_str(&format!("\"sub\":\"{sub}\","));
+        body.push_str(&format!("\"tier\":\"{}\",", self.tier.label()));
+        body.push_str(&format!("\"workers\":{workers}"));
+        body.push('}');
+        format!("r1-{}", hex_encode(body.as_bytes()))
+    }
+
+    /// Decodes a replay token back into `(program hash, spec)`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation: wrong prefix, bad hex, bad
+    /// JSON, or out-of-range fields.
+    pub fn from_token(token: &str) -> Result<(u64, RunSpec), String> {
+        let hex = token
+            .strip_prefix("r1-")
+            .ok_or_else(|| "replay token must start with `r1-`".to_owned())?;
+        let bytes = hex_decode(hex)?;
+        let body = String::from_utf8(bytes).map_err(|_| "token payload is not UTF-8".to_owned())?;
+        let doc = parse(&body).map_err(|e| format!("token payload: {e}"))?;
+        let str_field = |k: &str| -> Result<&str, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("token missing string field `{k}`"))
+        };
+        let num_field = |k: &str| -> Result<u64, String> {
+            let n = doc
+                .get(k)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("token missing numeric field `{k}`"))?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(format!("token field `{k}` must be a non-negative integer"));
+            }
+            Ok(n as u64)
+        };
+        let prog_hash = u64::from_str_radix(str_field("prog")?, 16)
+            .map_err(|e| format!("token `prog`: {e}"))?;
+        let substrate = match str_field("sub")? {
+            "sim" => Substrate::Sim {
+                cores: num_field("cores")?.clamp(1, 1 << 16) as usize,
+                linux: doc.get("linux") == Some(&Json::Bool(true)),
+            },
+            "rt" => Substrate::Rt {
+                workers: num_field("workers")?.clamp(1, 1 << 16) as usize,
+            },
+            other => return Err(format!("token substrate `{other}` unknown")),
+        };
+        let opt_u64 = |k: &str| -> Result<Option<u64>, String> {
+            match doc.get(k) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(Some(*n as u64)),
+                Some(Json::Str(s)) => s
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|e| format!("token field `{k}`: {e}")),
+                Some(_) => Err(format!("token field `{k}` must be an integer or null")),
+            }
+        };
+        let policy = Policy::parse(str_field("policy")?)?;
+        let tier = ExecTier::parse(str_field("tier")?)
+            .ok_or_else(|| "token names an unknown exec tier".to_owned())?;
+        let seed = u64::from_str_radix(str_field("seed")?, 16)
+            .map_err(|e| format!("token `seed`: {e}"))?;
+        let mut sets = Vec::new();
+        if let Some(Json::Obj(m)) = doc.get("sets") {
+            for (name, v) in m {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| "token set values must be strings".to_owned())?
+                    .parse::<i64>()
+                    .map_err(|e| format!("token set `{name}`: {e}"))?;
+                sets.push((name.clone(), v));
+            }
+        }
+        let mut spec = RunSpec {
+            substrate,
+            heartbeat: opt_u64("hb")?,
+            policy,
+            tier,
+            seed,
+            step_limit: opt_u64("sl")?,
+            sets,
+        };
+        spec.canonicalize();
+        Ok((prog_hash, spec))
+    }
+}
+
+/// Lowercase hex armour for token payloads.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`].
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex payload".to_owned());
+    }
+    let digits: Vec<u8> = s
+        .bytes()
+        .map(|b| match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex byte `{}`", b as char)),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(digits.chunks(2).map(|d| (d[0] << 4) | d[1]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        let h = |s: &str| Fnv1a::new().write(s.as_bytes()).finish();
+        assert_eq!(h(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(h("a"), h("b"));
+        assert_ne!(
+            ProgramSrc::asm("x").content_hash(),
+            ProgramSrc::tpl("x", "heartbeat").content_hash(),
+            "frontend flag participates in the content hash"
+        );
+        assert_ne!(
+            ProgramSrc::tpl("x", "serial").content_hash(),
+            ProgramSrc::tpl("x", "heartbeat").content_hash(),
+            "lowering mode participates in the content hash"
+        );
+    }
+
+    #[test]
+    fn token_round_trips() {
+        let mut spec = RunSpec::sim(4).set("main.n", 1_000).set("a", -7);
+        spec.heartbeat = Some(500);
+        spec.seed = u64::MAX - 3; // exceeds f64's exact integer range
+        spec.step_limit = Some(10_000_000_000); // exceeds 2^32
+        spec.canonicalize();
+        let token = spec.token(0xdead_beef_0123_4567);
+        let (hash, decoded) = RunSpec::from_token(&token).unwrap();
+        assert_eq!(hash, 0xdead_beef_0123_4567);
+        assert_eq!(decoded, spec);
+        // Determinism: same spec, same token — even with sets given in
+        // a different order.
+        let mut shuffled = RunSpec::sim(4).set("a", -7).set("main.n", 1_000);
+        shuffled.heartbeat = Some(500);
+        shuffled.seed = u64::MAX - 3;
+        shuffled.step_limit = Some(10_000_000_000);
+        assert_eq!(shuffled.token(0xdead_beef_0123_4567), token);
+    }
+
+    #[test]
+    fn rt_token_round_trips() {
+        let spec = RunSpec::rt(3).set("n", 20);
+        let token = spec.token(1);
+        let (hash, decoded) = RunSpec::from_token(&token).unwrap();
+        assert_eq!(hash, 1);
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.policy.label(), "heartbeat/sequence");
+    }
+
+    #[test]
+    fn malformed_tokens_are_rejected() {
+        for bad in [
+            "",
+            "r1-",
+            "r2-00",
+            "r1-zz",
+            "r1-7b7d",             // "{}" — missing fields
+            "r1-6e6f74206a736f6e", // "not json"
+        ] {
+            assert!(RunSpec::from_token(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("g0").is_err());
+    }
+}

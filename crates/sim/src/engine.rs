@@ -296,12 +296,33 @@ impl<'p> Sim<'p> {
     /// Creates a simulator whose initial task starts at the program's
     /// entry block on core 0.
     pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        let backend = ExecBackend::new(program, config.exec_tier);
+        Sim::with_backend(program, backend, config)
+    }
+
+    /// Creates a simulator reusing a pre-compiled execution backend —
+    /// the decode-once path for services that run one validated program
+    /// many times (`tpal-serve`): the caller pays
+    /// [`ExecBackend::new`]'s decode/compile cost once per program and
+    /// hands each run a clone of the compiled artifact (a flat-array
+    /// memcpy, no re-analysis).
+    ///
+    /// # Panics
+    ///
+    /// If `backend` was compiled for a different tier than
+    /// `config.exec_tier`, or `config.cores` is zero.
+    pub fn with_backend(program: &'p Program, backend: ExecBackend, config: SimConfig) -> Self {
         assert!(config.cores > 0, "at least one core required");
+        assert_eq!(
+            backend.tier(),
+            config.exec_tier,
+            "backend tier must match config.exec_tier"
+        );
         let mut stores = Stores::new();
         stores.stacks.set_promotion_order(config.promotion_order);
         Sim {
             program,
-            backend: ExecBackend::new(program, config.exec_tier),
+            backend,
             config,
             stores,
             initial: Some(TaskState::new(program, program.entry())),

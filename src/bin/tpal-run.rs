@@ -4,7 +4,7 @@
 //! ```text
 //! tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]]
 //!               [--set reg=int]... [--heartbeat N] [--tau N]
-//!               [--sim CORES] [--linux | --nautilus]
+//!               [--sim CORES | --rt WORKERS] [--linux | --nautilus]
 //!               [--policy P[/V]] [--victim V]
 //!               [--exec-tier ref|decoded|threaded]
 //!               [--newest-first] [--print]
@@ -15,30 +15,38 @@
 //! the C-like task-parallel source language (`.tpl`), compiled through
 //! `tpal-ir` in the chosen mode (default `heartbeat`); `--set` then
 //! names the entry function's parameters and the result register is
-//! `result`. Runs on the reference machine by default, or on the
-//! multicore simulator with `--sim CORES`. `--print` prints the (parsed
-//! or generated) TPAL assembly instead of running.
+//! `result`. Three execution substrates are reachable: the reference
+//! machine (the default), the multicore simulator (`--sim CORES`), and
+//! the native heartbeat runtime (`--rt WORKERS`).
 //!
-//! Scheduling policy (simulator runs only): `--policy` selects the
-//! promotion policy (`heartbeat`, `eager`, `never`, `adaptive:N`),
-//! optionally combined with a victim policy as `promo/victim`;
-//! `--victim` selects the steal-victim policy alone (`uniform`,
-//! `sequence`, `locality`). Both default to the historical behaviour
-//! (`heartbeat/uniform`).
+//! `--heartbeat` is in the substrate's own time unit: instructions on
+//! the machine (default 100), cycles on the simulator (default 3000 —
+//! the tuned value; an explicitly passed value is always honoured), and
+//! microseconds on the native runtime (default 100, the paper's §4.2
+//! interval). `--print` prints the (parsed or generated) TPAL assembly
+//! instead of running.
+//!
+//! Scheduling policy (simulator and native-runtime runs): `--policy`
+//! selects the promotion policy (`heartbeat`, `eager`, `never`,
+//! `adaptive:N`), optionally combined with a victim policy as
+//! `promo/victim`; `--victim` selects the steal-victim policy alone
+//! (`uniform`, `sequence`, `locality`). The defaults are the historical
+//! behaviours (`heartbeat/uniform` on the simulator,
+//! `heartbeat/sequence` on the runtime).
 //!
 //! `--exec-tier` selects the interpreter tier for straight-line
-//! execution (machine and simulator runs): `ref` (the specification
-//! interpreter), `decoded` (pre-decoded micro-ops), or `threaded`
-//! (direct-dispatch threaded code, the default). All tiers are
-//! bit-identical in results and statistics; they differ only in host
-//! execution speed.
+//! execution on every substrate: `ref` (the specification interpreter),
+//! `decoded` (pre-decoded micro-ops), or `threaded` (direct-dispatch
+//! threaded code, the default). All tiers are bit-identical in results
+//! and statistics; they differ only in host execution speed.
 //!
-//! Observability (simulator runs only): `--trace OUT.json` records a
-//! structured scheduling trace and writes it as Chrome `trace_event`
-//! JSON — open it at `chrome://tracing` or <https://ui.perfetto.dev>,
-//! one track per simulated core. `--profile` prints the TASKPROF-style
-//! work/span profile (work T₁, span T∞, available parallelism) and the
-//! per-core metrics report derived from the same trace.
+//! Observability (simulator and native-runtime runs): `--trace
+//! OUT.json` records a structured scheduling trace and writes it as
+//! Chrome `trace_event` JSON — open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>, one track per core (per worker).
+//! `--profile` prints the TASKPROF-style work/span profile (work T₁,
+//! span T∞, available parallelism) and the per-core metrics report
+//! derived from the same trace.
 //!
 //! Examples:
 //!
@@ -47,26 +55,38 @@
 //!     --set a=100000 --set b=3 --sim 8
 //! cargo run --release --bin tpal-run -- programs/sum.tpal \
 //!     --set main.n=100000 --sim 8 --linux --policy eager/sequence
+//! cargo run --release --bin tpal-run -- programs/fib.tpal \
+//!     --set n=25 --rt 4 --heartbeat 100
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tpal::core::asm::{parse_program, print_program};
 use tpal::core::machine::{Machine, MachineConfig, PromotionOrder};
+use tpal::rt::{RtConfig, Runtime};
 use tpal::sim::{ExecTier, Policy, Sim, SimConfig, Victim};
 
 struct Options {
     file: String,
     sets: Vec<(String, i64)>,
-    heartbeat: u64,
+    /// `Some` iff `--heartbeat` was passed: each substrate applies its
+    /// own default when absent, and an explicit value — even one that
+    /// happens to equal another substrate's default — is honoured.
+    heartbeat: Option<u64>,
     tau: u64,
     sim_cores: Option<usize>,
+    rt_workers: Option<usize>,
     linux: bool,
     print: bool,
     ir: bool,
     mode: tpal::ir::Mode,
     order: PromotionOrder,
     policy: Policy,
+    /// Whether `--policy`/`--victim` was passed at all (the native
+    /// runtime's default victim differs from the simulator's, so "not
+    /// given" cannot be represented as any particular `Policy` value).
+    policy_given: bool,
     exec_tier: ExecTier,
     trace_out: Option<String>,
     profile: bool,
@@ -74,7 +94,7 @@ struct Options {
 
 fn usage() -> String {
     "usage: tpal-run FILE [--ir [--mode serial|heartbeat|expanded|eager]] \
-     [--set reg=int]... [--heartbeat N] [--tau N] [--sim CORES] \
+     [--set reg=int]... [--heartbeat N] [--tau N] [--sim CORES | --rt WORKERS] \
      [--linux | --nautilus] [--policy P[/V]] [--victim V] \
      [--exec-tier ref|decoded|threaded] \
      [--newest-first] [--print] [--trace OUT.json] [--profile]"
@@ -86,15 +106,17 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
         sets: Vec::new(),
-        heartbeat: 100,
+        heartbeat: None,
         tau: 10,
         sim_cores: None,
+        rt_workers: None,
         linux: false,
         print: false,
         ir: false,
         mode: tpal::ir::Mode::Heartbeat,
         order: PromotionOrder::OldestFirst,
         policy: Policy::default(),
+        policy_given: false,
         exec_tier: ExecTier::default(),
         trace_out: None,
         profile: false,
@@ -113,9 +135,11 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 opts.sets.push((k.to_owned(), v));
             }
             "--heartbeat" => {
-                opts.heartbeat = need(&mut args, "--heartbeat")?
-                    .parse()
-                    .map_err(|e| format!("--heartbeat: {e}"))?;
+                opts.heartbeat = Some(
+                    need(&mut args, "--heartbeat")?
+                        .parse()
+                        .map_err(|e| format!("--heartbeat: {e}"))?,
+                );
             }
             "--tau" => {
                 opts.tau = need(&mut args, "--tau")?
@@ -129,6 +153,13 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                         .map_err(|e| format!("--sim: {e}"))?,
                 );
             }
+            "--rt" => {
+                opts.rt_workers = Some(
+                    need(&mut args, "--rt")?
+                        .parse()
+                        .map_err(|e| format!("--rt: {e}"))?,
+                );
+            }
             "--policy" => {
                 let spec = need(&mut args, "--policy")?;
                 let parsed = Policy::parse(&spec).map_err(|e| format!("--policy: {e}"))?;
@@ -138,10 +169,12 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
                 if spec.contains('/') {
                     opts.policy.victim = parsed.victim;
                 }
+                opts.policy_given = true;
             }
             "--victim" => {
                 opts.policy.victim = Victim::parse(&need(&mut args, "--victim")?)
                     .map_err(|e| format!("--victim: {e}"))?;
+                opts.policy_given = true;
             }
             "--exec-tier" => {
                 let spec = need(&mut args, "--exec-tier")?;
@@ -175,11 +208,23 @@ fn parse_args(mut args: std::env::Args) -> Result<Options, String> {
     if opts.file.is_empty() {
         return Err(usage());
     }
-    if (opts.trace_out.is_some() || opts.profile) && opts.sim_cores.is_none() {
-        return Err("--trace/--profile need a simulator run (--sim CORES)".to_owned());
+    if opts.sim_cores.is_some() && opts.rt_workers.is_some() {
+        return Err("--sim and --rt are mutually exclusive".to_owned());
     }
-    if opts.policy != Policy::default() && opts.sim_cores.is_none() {
-        return Err("--policy/--victim need a simulator run (--sim CORES)".to_owned());
+    if (opts.trace_out.is_some() || opts.profile)
+        && opts.sim_cores.is_none()
+        && opts.rt_workers.is_none()
+    {
+        return Err(
+            "--trace/--profile need a simulator or runtime run (--sim CORES | --rt WORKERS)"
+                .to_owned(),
+        );
+    }
+    if opts.policy_given && opts.sim_cores.is_none() && opts.rt_workers.is_none() {
+        return Err(
+            "--policy/--victim need a simulator or runtime run (--sim CORES | --rt WORKERS)"
+                .to_owned(),
+        );
     }
     Ok(opts)
 }
@@ -243,15 +288,26 @@ fn main() -> ExitCode {
             println!("  {name} = {v}");
         }
     };
+    let named_regs = |read: &dyn Fn(&str) -> Option<i64>| {
+        let mut regs = Vec::new();
+        for i in 0..program.reg_count() {
+            let name = program
+                .reg_name(tpal::core::isa::Reg::from_index(i))
+                .to_owned();
+            if let Some(v) = read(&name) {
+                regs.push((name, v));
+            }
+        }
+        regs.sort();
+        regs
+    };
 
     if let Some(cores) = opts.sim_cores {
         // The simulator's ♥ is in cycles; the machine default of 100 is
-        // far too aggressive there, so default to the tuned value.
-        let heartbeat = if opts.heartbeat == 100 {
-            3_000
-        } else {
-            opts.heartbeat
-        };
+        // far too aggressive there, so the flag-absent default is the
+        // tuned value. An explicitly passed ♥ — including an explicit
+        // 100 — is always honoured.
+        let heartbeat = opts.heartbeat.unwrap_or(3_000);
         let mut config = if opts.linux {
             SimConfig::linux(cores, heartbeat)
         } else {
@@ -274,17 +330,7 @@ fn main() -> ExitCode {
                     "simulated {cores} cores, ♥ = {heartbeat}, policy = {}:",
                     opts.policy.label()
                 );
-                let mut regs = Vec::new();
-                for i in 0..program.reg_count() {
-                    let name = program
-                        .reg_name(tpal::core::isa::Reg::from_index(i))
-                        .to_owned();
-                    if let Some(v) = out.read_reg(&name) {
-                        regs.push((name, v));
-                    }
-                }
-                regs.sort();
-                dump(&regs);
+                dump(&named_regs(&|name| out.read_reg(name)));
                 println!(
                     "  time = {} cycles, tasks = {}, steals = {}, utilization = {:.0}%, \
                      heartbeat rate achieved = {:.0}%",
@@ -295,25 +341,8 @@ fn main() -> ExitCode {
                     out.heartbeat_rate_achieved() * 100.0
                 );
                 if let Some(trace) = &out.trace {
-                    if let Some(path) = &opts.trace_out {
-                        let json = tpal::trace::chrome::chrome_json(trace);
-                        if let Err(e) = std::fs::write(path, json) {
-                            eprintln!("--trace {path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                        println!("  trace: {} events -> {path}", trace.len());
-                    }
-                    if opts.profile {
-                        let p = tpal::trace::WorkSpanProfile::from_trace(trace);
-                        println!(
-                            "  profile: work = {} cycles, span = {} cycles, \
-                             parallelism = {:.1}, tasks = {}",
-                            p.work,
-                            p.span,
-                            p.parallelism(),
-                            p.tasks
-                        );
-                        print!("{}", tpal::trace::MetricsReport::from_trace(trace).render());
+                    if report_trace(trace, &opts) == ExitCode::FAILURE {
+                        return ExitCode::FAILURE;
                     }
                 }
                 ExitCode::SUCCESS
@@ -323,9 +352,50 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+    } else if let Some(workers) = opts.rt_workers {
+        // The native runtime's ♥ is wall-clock microseconds (the
+        // paper's §4.2 interval as the flag-absent default). The
+        // runtime's historical victim policy is `sequence`; an explicit
+        // --policy/--victim overrides it.
+        let heartbeat = opts.heartbeat.unwrap_or(100);
+        let mut config = RtConfig::default()
+            .workers(workers)
+            .heartbeat(Duration::from_micros(heartbeat))
+            .exec_tier(opts.exec_tier)
+            .trace(opts.trace_out.is_some() || opts.profile);
+        if opts.policy_given {
+            config = config.policy(opts.policy);
+        }
+        let policy_label = config.policy.label();
+        let rt = Runtime::new(config);
+        let args: Vec<(&str, i64)> = sets.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        match rt.run_program(&program, &args) {
+            Ok(out) => {
+                println!("native runtime, {workers} workers, ♥ = {heartbeat}µs, policy = {policy_label}:");
+                dump(&named_regs(&|name| out.read_reg(name)));
+                println!(
+                    "  instructions = {}, heartbeats = {}, promotions = {}, tasks = {}, joins = {}",
+                    out.stats.instructions,
+                    out.stats.heartbeats,
+                    out.stats.promotions,
+                    out.stats.forks,
+                    out.stats.joins
+                );
+                if let Some(trace) = rt.take_trace() {
+                    if report_trace(&trace, &opts) == ExitCode::FAILURE {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("runtime fault: {e}");
+                ExitCode::FAILURE
+            }
+        }
     } else {
         let config = MachineConfig::default()
-            .with_heartbeat(opts.heartbeat)
+            .with_heartbeat(opts.heartbeat.unwrap_or(100))
             .with_tau(opts.tau)
             .with_promotion_order(opts.order)
             .with_exec_tier(opts.exec_tier);
@@ -338,18 +408,8 @@ fn main() -> ExitCode {
         }
         match m.run() {
             Ok(out) => {
-                println!("machine run, ♥ = {}:", opts.heartbeat);
-                let mut shown = Vec::new();
-                for i in 0..program.reg_count() {
-                    let name = program
-                        .reg_name(tpal::core::isa::Reg::from_index(i))
-                        .to_owned();
-                    if let Some(v) = out.read_reg(&name) {
-                        shown.push((name, v));
-                    }
-                }
-                shown.sort();
-                dump(&shown);
+                println!("machine run, ♥ = {}:", opts.heartbeat.unwrap_or(100));
+                dump(&named_regs(&|name| out.read_reg(name)));
                 println!(
                     "  instructions = {}, tasks = {}, promotions = {}, work = {}, span = {} \
                      (parallelism {:.1})",
@@ -368,4 +428,30 @@ fn main() -> ExitCode {
             }
         }
     }
+}
+
+/// Writes `--trace` output and prints the `--profile` report from a
+/// recorded trace (shared by the simulator and native-runtime paths).
+fn report_trace(trace: &tpal::trace::Trace, opts: &Options) -> ExitCode {
+    if let Some(path) = &opts.trace_out {
+        let json = tpal::trace::chrome::chrome_json(trace);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("--trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  trace: {} events -> {path}", trace.len());
+    }
+    if opts.profile {
+        let p = tpal::trace::WorkSpanProfile::from_trace(trace);
+        println!(
+            "  profile: work = {} cycles, span = {} cycles, \
+             parallelism = {:.1}, tasks = {}",
+            p.work,
+            p.span,
+            p.parallelism(),
+            p.tasks
+        );
+        print!("{}", tpal::trace::MetricsReport::from_trace(trace).render());
+    }
+    ExitCode::SUCCESS
 }

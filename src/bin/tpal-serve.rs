@@ -1,0 +1,90 @@
+//! `tpal-serve`: run the TPAL simulation service.
+//!
+//! ```text
+//! tpal-serve [--addr HOST:PORT] [--queue-cap N] [--executors N]
+//! ```
+//!
+//! A long-running server accepting TPAL assembly or task-parallel
+//! (`.tpl`) programs as JSON over HTTP/1.1. Each distinct program is
+//! validated and compiled once into a content-hash-keyed decode cache;
+//! runs execute on the deterministic simulator or a shared
+//! native-runtime pool behind a bounded admission queue (full queue:
+//! immediate `429` with `Retry-After`). Every response carries a
+//! deterministic replay token; `GET /replay/<token>` reproduces the
+//! run bit-for-bit. `POST /shutdown` drains gracefully.
+//!
+//! Example session:
+//!
+//! ```text
+//! $ tpal-serve --addr 127.0.0.1:8080 &
+//! $ curl -s localhost:8080/run -d '{
+//!     "source": "fn main(n) { s = 0; parfor i in 0..n reduce(s: +, 0) { s = s + i; } return s; }",
+//!     "ir": true, "cores": 8, "sets": {"n": 100000}
+//!   }'
+//! {"cache":"miss","ok":true,"replay":"r1-…","result":{…},"wall_us":…}
+//! $ curl -s localhost:8080/replay/r1-…
+//! $ curl -s -X POST localhost:8080/shutdown
+//! ```
+
+use std::process::ExitCode;
+
+use tpal::serve::server::{ServeConfig, Server};
+
+fn usage() -> String {
+    "usage: tpal-serve [--addr HOST:PORT] [--queue-cap N] [--executors N]".to_owned()
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<ServeConfig, String> {
+    args.next(); // program name
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7420".to_owned(),
+        ..ServeConfig::default()
+    };
+    let need = |args: &mut std::env::Args, what: &str| {
+        args.next().ok_or_else(|| format!("{what} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = need(&mut args, "--addr")?,
+            "--queue-cap" => {
+                config.queue_cap = need(&mut args, "--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--executors" => {
+                config.executors = need(&mut args, "--executors")?
+                    .parse()
+                    .map_err(|e| format!("--executors: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (queue_cap, executors) = (config.queue_cap, config.executors);
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tpal-serve: bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "tpal-serve: listening on {} (queue capacity {queue_cap}, {executors} executors); \
+         POST /shutdown to drain",
+        server.addr()
+    );
+    server.join();
+    println!("tpal-serve: drained, bye");
+    ExitCode::SUCCESS
+}

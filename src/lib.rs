@@ -11,6 +11,7 @@
 //! | [`sim`] | `tpal-sim` | A deterministic multicore simulator with interrupt models |
 //! | [`trace`] | `tpal-trace` | Structured scheduling traces, Chrome export, work/span profiling |
 //! | [`rt`] | `tpal-rt` | The native heartbeat runtime (threads + work stealing) |
+//! | [`serve`] | `tpal-serve` | Simulation-as-a-service: decode cache, admission control, replay |
 //! | [`cilk`] | `tpal-cilk` | The eager Cilk-style baseline runtime |
 //! | [`deque`] | `tpal-deque` | The Chase–Lev work-stealing deque substrate |
 //! | [`workloads`] | `tpal-workloads` | The paper's 12-benchmark suite |
@@ -38,6 +39,7 @@ pub use tpal_core as core;
 pub use tpal_deque as deque;
 pub use tpal_ir as ir;
 pub use tpal_rt as rt;
+pub use tpal_serve as serve;
 pub use tpal_sim as sim;
 pub use tpal_trace as trace;
 pub use tpal_workloads as workloads;

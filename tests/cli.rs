@@ -1,0 +1,121 @@
+//! CLI regression tests for `tpal-run`, exercising the built binary
+//! end-to-end (argument parsing, substrate selection, heartbeat
+//! defaulting).
+
+use std::process::Command;
+
+/// Runs the `tpal-run` binary with `args`, returning (success, stdout,
+/// stderr).
+fn tpal_run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tpal-run"))
+        .args(args)
+        .output()
+        .expect("spawn tpal-run");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn explicit_heartbeat_is_honoured_on_the_simulator() {
+    // ISSUE 8 regression: `--heartbeat 100 --sim N` used to silently
+    // rewrite the explicitly passed 100 to the tuned sim default 3000,
+    // because the CLI compared the value against the machine default
+    // instead of tracking whether the flag was given.
+    let (ok, stdout, stderr) = tpal_run(&[
+        "programs/fib.tpal",
+        "--set",
+        "n=10",
+        "--heartbeat",
+        "100",
+        "--sim",
+        "2",
+    ]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(
+        stdout.contains("♥ = 100,"),
+        "explicit --heartbeat 100 must be honoured, got:\n{stdout}"
+    );
+    assert!(stdout.contains("f = 55"), "fib(10) = 55, got:\n{stdout}");
+}
+
+#[test]
+fn absent_heartbeat_defaults_to_tuned_sim_value() {
+    let (ok, stdout, stderr) = tpal_run(&["programs/fib.tpal", "--set", "n=10", "--sim", "2"]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(
+        stdout.contains("♥ = 3000,"),
+        "flag-absent sim runs default to ♥ = 3000, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn machine_keeps_its_own_default_heartbeat() {
+    let (ok, stdout, stderr) = tpal_run(&["programs/fib.tpal", "--set", "n=10"]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(
+        stdout.contains("machine run, ♥ = 100:"),
+        "machine default ♥ is 100, got:\n{stdout}"
+    );
+    assert!(stdout.contains("f = 55"), "fib(10) = 55, got:\n{stdout}");
+}
+
+#[test]
+fn rt_substrate_is_reachable() {
+    // ISSUE 8 satellite: the native runtime must be reachable from the
+    // CLI, with policy/exec-tier/heartbeat wired through.
+    let (ok, stdout, stderr) = tpal_run(&[
+        "programs/fib.tpal",
+        "--set",
+        "n=10",
+        "--rt",
+        "2",
+        "--heartbeat",
+        "50",
+        "--exec-tier",
+        "decoded",
+    ]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(
+        stdout.contains("native runtime, 2 workers, ♥ = 50µs"),
+        "rt header expected, got:\n{stdout}"
+    );
+    assert!(stdout.contains("f = 55"), "fib(10) = 55, got:\n{stdout}");
+}
+
+#[test]
+fn policy_flags_work_on_the_rt_substrate() {
+    let (ok, stdout, stderr) = tpal_run(&[
+        "programs/fib.tpal",
+        "--set",
+        "n=10",
+        "--rt",
+        "1",
+        "--policy",
+        "eager/sequence",
+    ]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(
+        stdout.contains("policy = eager/sequence"),
+        "policy label expected, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn policy_still_rejected_without_a_parallel_substrate() {
+    let (ok, _, stderr) = tpal_run(&["programs/fib.tpal", "--set", "n=10", "--policy", "eager"]);
+    assert!(!ok, "machine runs must reject --policy");
+    assert!(
+        stderr.contains("--policy/--victim need"),
+        "got stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn sim_and_rt_are_mutually_exclusive() {
+    let (ok, _, stderr) = tpal_run(&["programs/fib.tpal", "--sim", "2", "--rt", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "got:\n{stderr}");
+}
